@@ -1,0 +1,60 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out:
+
+* Bloom filter size / hash count (the paper's Section 5 parameter pick);
+* JEN pipelining vs a materialising engine (Section 4.4);
+* locality-aware block assignment (Section 4.2);
+* broadcast transfer scheme, direct vs relay (Section 4.3);
+* Bloom filters vs exact semijoin / PERF-join baselines (Section 6).
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_ablation_bf_params(benchmark, experiment_cache, results_dir):
+    run_experiment(benchmark, experiment_cache, results_dir,
+                   "ablation_bf_params")
+
+
+def test_ablation_pipelining(benchmark, experiment_cache, results_dir):
+    run_experiment(benchmark, experiment_cache, results_dir,
+                   "ablation_pipelining")
+
+
+def test_ablation_locality(benchmark, experiment_cache, results_dir):
+    run_experiment(benchmark, experiment_cache, results_dir,
+                   "ablation_locality")
+
+
+def test_ablation_broadcast_scheme(benchmark, experiment_cache,
+                                   results_dir):
+    run_experiment(benchmark, experiment_cache, results_dir,
+                   "ablation_broadcast_scheme")
+
+
+def test_ablation_exact_filters(benchmark, experiment_cache, results_dir):
+    run_experiment(benchmark, experiment_cache, results_dir,
+                   "ablation_exact_filters")
+
+
+def test_ablation_spill(benchmark, experiment_cache, results_dir):
+    run_experiment(benchmark, experiment_cache, results_dir,
+                   "ablation_spill")
+
+
+def test_ablation_process_thread(benchmark, experiment_cache, results_dir):
+    run_experiment(benchmark, experiment_cache, results_dir,
+                   "ablation_process_thread")
+
+
+def test_ext_cluster_scaling(benchmark, experiment_cache, results_dir):
+    run_experiment(benchmark, experiment_cache, results_dir,
+                   "ext_cluster_scaling")
+
+
+def test_ablation_zigzag_site(benchmark, experiment_cache, results_dir):
+    run_experiment(benchmark, experiment_cache, results_dir,
+                   "ablation_zigzag_site")
+
+
+def test_ext_skew(benchmark, experiment_cache, results_dir):
+    run_experiment(benchmark, experiment_cache, results_dir, "ext_skew")

@@ -1,0 +1,11 @@
+"""Benchmark: reproduce the paper's Figure 8 — zigzag vs repartition joins, execution time across sigma_L and S_T'.
+
+Run with `pytest benchmarks/bench_fig08.py --benchmark-only`; the
+paper-style report lands in `benchmarks/results/fig8.txt`.
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig8(benchmark, experiment_cache, results_dir):
+    run_experiment(benchmark, experiment_cache, results_dir, "fig8")

@@ -1,0 +1,11 @@
+"""Benchmark: reproduce the paper's Figure 9 — effect of the join-key selectivities S_L' and S_T' on the zigzag join.
+
+Run with `pytest benchmarks/bench_fig09.py --benchmark-only`; the
+paper-style report lands in `benchmarks/results/fig9.txt`.
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig9(benchmark, experiment_cache, results_dir):
+    run_experiment(benchmark, experiment_cache, results_dir, "fig9")

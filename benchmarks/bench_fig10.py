@@ -1,0 +1,11 @@
+"""Benchmark: reproduce the paper's Figure 10 — broadcast join vs repartition join across sigma_T and sigma_L.
+
+Run with `pytest benchmarks/bench_fig10.py --benchmark-only`; the
+paper-style report lands in `benchmarks/results/fig10.txt`.
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig10(benchmark, experiment_cache, results_dir):
+    run_experiment(benchmark, experiment_cache, results_dir, "fig10")

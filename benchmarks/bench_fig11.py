@@ -1,0 +1,11 @@
+"""Benchmark: reproduce the paper's Figure 11 — DB-side join with vs without a Bloom filter.
+
+Run with `pytest benchmarks/bench_fig11.py --benchmark-only`; the
+paper-style report lands in `benchmarks/results/fig11.txt`.
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig11(benchmark, experiment_cache, results_dir):
+    run_experiment(benchmark, experiment_cache, results_dir, "fig11")

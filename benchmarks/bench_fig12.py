@@ -1,0 +1,11 @@
+"""Benchmark: reproduce the paper's Figure 12 — DB-side vs best HDFS-side join without Bloom filters.
+
+Run with `pytest benchmarks/bench_fig12.py --benchmark-only`; the
+paper-style report lands in `benchmarks/results/fig12.txt`.
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig12(benchmark, experiment_cache, results_dir):
+    run_experiment(benchmark, experiment_cache, results_dir, "fig12")

@@ -1,0 +1,11 @@
+"""Benchmark: reproduce the paper's Figure 13 — DB-side vs HDFS-side joins with Bloom filters.
+
+Run with `pytest benchmarks/bench_fig13.py --benchmark-only`; the
+paper-style report lands in `benchmarks/results/fig13.txt`.
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig13(benchmark, experiment_cache, results_dir):
+    run_experiment(benchmark, experiment_cache, results_dir, "fig13")

@@ -1,0 +1,16 @@
+"""Benchmark: reproduce the paper's Figure 14 — Parquet vs text storage format.
+
+Run with `pytest benchmarks/bench_fig14.py --benchmark-only`; the
+paper-style report lands in `benchmarks/results/fig14.txt`.
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig14(benchmark, experiment_cache, results_dir):
+    run_experiment(benchmark, experiment_cache, results_dir, "fig14")
+
+
+def test_ext_formats(benchmark, experiment_cache, results_dir):
+    run_experiment(benchmark, experiment_cache, results_dir,
+                   "ext_formats")

@@ -1,0 +1,11 @@
+"""Benchmark: reproduce the paper's Figure 15 — Bloom filter effect on the text format.
+
+Run with `pytest benchmarks/bench_fig15.py --benchmark-only`; the
+paper-style report lands in `benchmarks/results/fig15.txt`.
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig15(benchmark, experiment_cache, results_dir):
+    run_experiment(benchmark, experiment_cache, results_dir, "fig15")

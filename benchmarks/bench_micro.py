@@ -1,0 +1,77 @@
+"""Micro-benchmarks of the data-plane kernels.
+
+These measure the *library's* own throughput (wall clock of the numpy
+kernels), not simulated cluster time — useful for keeping the data plane
+fast enough that full figure sweeps stay interactive.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bloom import BloomFilter
+from repro.edw.partitioner import agreed_hash_partition
+from repro.relational.aggregates import AggregateSpec, group_by_aggregate
+from repro.relational.operators import hash_join_indices
+from repro.relational.schema import Column, DataType, Schema
+from repro.relational.table import Table
+
+N = 500_000
+
+
+@pytest.fixture(scope="module")
+def keys():
+    rng = np.random.default_rng(1)
+    return rng.integers(0, 50_000, N).astype(np.int64)
+
+
+def test_bloom_add(benchmark, keys):
+    def run():
+        bloom = BloomFilter(1 << 20, num_hashes=2)
+        bloom.add(keys)
+        return bloom
+
+    assert benchmark(run).num_added == N
+
+
+def test_bloom_probe(benchmark, keys):
+    bloom = BloomFilter(1 << 20, num_hashes=2)
+    bloom.add(keys[: N // 2])
+    mask = benchmark(bloom.contains, keys)
+    assert mask[: N // 2].all()
+
+
+def test_hash_join_kernel(benchmark, keys):
+    probe = keys[::3]
+    build_idx, probe_idx = benchmark(hash_join_indices, keys, probe)
+    assert len(build_idx) == len(probe_idx) > 0
+
+
+def test_agreed_hash_partition(benchmark, keys):
+    parts = benchmark(agreed_hash_partition, keys, 30)
+    assert parts.max() < 30
+
+
+def test_group_by_aggregate(benchmark, keys):
+    schema = Schema([Column("k", DataType.INT64),
+                     Column("v", DataType.INT64)])
+    table = Table(schema, {"k": keys, "v": np.ones(N, dtype=np.int64)})
+    result = benchmark(
+        group_by_aggregate, table, ["k"],
+        [AggregateSpec("count"), AggregateSpec("sum", "v")],
+    )
+    assert int(result.column("count").sum()) == N
+
+
+def test_full_zigzag_data_plane(benchmark):
+    """End-to-end wall clock of one zigzag run at benchmark scale."""
+    from repro.bench.harness import WarehouseCache
+    from repro.core.joins import ZigzagJoin
+
+    cache = WarehouseCache()
+    setup = cache.setup(0.1, 0.4, s_t=0.2, s_l=0.1)
+
+    def run():
+        return ZigzagJoin().run(setup.warehouse, setup.query)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.result.num_rows > 0

@@ -1,0 +1,11 @@
+"""Benchmark: reproduce the paper's Table 1 — tuples shuffled and DB tuples sent for the repartition joins and the zigzag join.
+
+Run with `pytest benchmarks/bench_table1.py --benchmark-only`; the
+paper-style report lands in `benchmarks/results/table1.txt`.
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_table1(benchmark, experiment_cache, results_dir):
+    run_experiment(benchmark, experiment_cache, results_dir, "table1")

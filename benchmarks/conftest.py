@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark runs one paper experiment end to end (data plane plus
+time plane) and writes its paper-style report to
+``benchmarks/results/<experiment>.txt`` so the numbers survive the run.
+The warehouse cache is session-scoped: sweeps share loaded warehouses.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.bench.harness import WarehouseCache
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def experiment_cache():
+    """One warehouse cache shared by every benchmark."""
+    return WarehouseCache()
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    """Directory the benchmark reports are written to."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def run_experiment(benchmark, cache, results_dir, experiment_id):
+    """Benchmark one experiment once and persist its report."""
+    from repro.bench.experiments import experiment_by_id
+
+    experiment = experiment_by_id(experiment_id)
+    result = benchmark.pedantic(
+        lambda: experiment.run(cache), rounds=1, iterations=1,
+    )
+    report = result.to_report()
+    (results_dir / f"{experiment_id}.txt").write_text(report + "\n")
+    print()
+    print(report)
+    assert result.all_passed(), report
+    return result

@@ -1,0 +1,207 @@
+"""Top-level command line interface.
+
+Usage::
+
+    python -m repro demo                      # quick end-to-end tour
+    python -m repro sql "SELECT ..."          # run SQL on a demo warehouse
+    python -m repro sql --algorithm zigzag -f query.sql
+    python -m repro advise --sigma-t 0.1 --sigma-l 0.2
+    python -m repro experiments [ids...]      # same as python -m repro.bench
+
+The demo warehouse is the paper's Table-1 workload at 1/25,000 scale,
+generated on the fly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro import (
+    HybridWarehouse,
+    JoinAdvisor,
+    WorkloadEstimate,
+    WorkloadSpec,
+    algorithm_by_name,
+    default_config,
+    generate_workload,
+)
+from repro.sql import SqlSession
+from repro.workload import build_paper_query
+
+
+def _demo_warehouse(scale: float = 1 / 25_000):
+    workload = generate_workload(WorkloadSpec(
+        sigma_t=0.1, sigma_l=0.4, s_t=0.2, s_l=0.1,
+        t_rows=max(1000, int(1.6e9 * scale)),
+        l_rows=max(10_000, int(15e9 * scale)),
+        n_keys=max(100, int(16e6 * scale)),
+    ))
+    warehouse = HybridWarehouse(default_config(scale=scale))
+    warehouse.load_db_table("T", workload.t_table, distribute_on="uniqKey")
+    warehouse.database.create_index("T", "idx_pred", ["corPred", "indPred"])
+    warehouse.database.create_index(
+        "T", "idx_bloom", ["corPred", "indPred", "joinKey"]
+    )
+    warehouse.load_hdfs_table("L", workload.l_table, "parquet")
+    return warehouse, workload
+
+
+def _cmd_demo(_args) -> int:
+    warehouse, workload = _demo_warehouse()
+    query = build_paper_query(workload)
+    print("Table-1 workload loaded "
+          f"(T={workload.t_table.num_rows} rows, "
+          f"L={workload.l_table.num_rows} rows at 1/25,000 scale)\n")
+    for name in ("db", "db(BF)", "broadcast", "repartition",
+                 "repartition(BF)", "zigzag"):
+        result = algorithm_by_name(name).run(warehouse, query)
+        print(result.summary())
+    print("\nzigzag phase schedule:")
+    print(algorithm_by_name("zigzag").run(warehouse, query)
+          .timing.breakdown())
+    return 0
+
+
+def _cmd_sql(args) -> int:
+    if args.file:
+        sql = pathlib.Path(args.file).read_text()
+    elif args.query:
+        sql = args.query
+    else:
+        print("provide a query string or --file", file=sys.stderr)
+        return 2
+    warehouse, _workload = _demo_warehouse()
+    session = SqlSession(warehouse)
+    result = session.execute(sql, algorithm=args.algorithm)
+    print(f"algorithm: {result.algorithm}"
+          + (f"  ({result.advisor_rationale})"
+             if result.advisor_rationale else ""))
+    print(f"simulated: {result.simulated_seconds:.1f}s at paper scale\n")
+    headers = result.table.schema.names
+    print("  ".join(str(h) for h in headers))
+    for row in result.rows()[: args.limit]:
+        print("  ".join(str(value) for value in row))
+    remaining = result.table.num_rows - args.limit
+    if remaining > 0:
+        print(f"... {remaining} more rows")
+    return 0
+
+
+def _cmd_advise(args) -> int:
+    advisor = JoinAdvisor()
+    decision = advisor.decide(WorkloadEstimate(
+        t_rows=args.t_rows, l_rows=args.l_rows,
+        sigma_t=args.sigma_t, sigma_l=args.sigma_l,
+        s_t=args.s_t, s_l=args.s_l,
+        format_name=args.format,
+    ))
+    print(f"recommended: {decision.best}")
+    print(f"rationale:   {decision.rationale}\n")
+    for name, seconds in decision.ranking():
+        print(f"  {name:<18s} {seconds:8.1f}s (estimated)")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.bench.reporting import format_series
+    from repro.bench.sweep import grid, run_sweep
+
+    points = grid(args.sigma_t, args.sigma_l, s_l=args.s_l,
+                  format_name=args.format)
+    result = run_sweep(points, args.algorithms)
+    print(format_series(
+        result.rows, "sigma_L", "seconds", "algorithm",
+        title=f"simulated seconds (sigma_T={args.sigma_t}, "
+              f"S_L'={args.s_l}, {args.format})",
+    ))
+    print("\nwinners by point:")
+    for point, winner in result.winners().items():
+        print(f"  {point:<40s} {winner}")
+    for point, reason in result.skipped:
+        print(f"  skipped {point.label()}: {reason}")
+    return 0
+
+
+def _cmd_experiments(args) -> int:
+    from repro.bench.__main__ import main as bench_main
+
+    argv = list(args.ids)
+    if args.figures:
+        from repro.bench import EXPERIMENTS, WarehouseCache
+        from repro.bench.figures import render_experiment
+
+        cache = WarehouseCache()
+        for experiment_id in (argv or list(EXPERIMENTS)):
+            result = EXPERIMENTS[experiment_id].run(cache)
+            print(render_experiment(result))
+            print()
+        return 0
+    return bench_main(argv)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Hybrid-warehouse joins (EDBT 2015 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("demo", help="run every algorithm on the "
+                                       "Table-1 workload")
+
+    sql_parser = subparsers.add_parser("sql", help="run a SQL query on a "
+                                                   "demo warehouse")
+    sql_parser.add_argument("query", nargs="?", help="SQL text")
+    sql_parser.add_argument("--file", "-f", help="read SQL from a file")
+    sql_parser.add_argument("--algorithm", default="auto",
+                            help="join algorithm (default: auto)")
+    sql_parser.add_argument("--limit", type=int, default=20,
+                            help="result rows to print")
+
+    advise_parser = subparsers.add_parser(
+        "advise", help="rank the algorithms for estimated selectivities"
+    )
+    advise_parser.add_argument("--sigma-t", type=float, required=True)
+    advise_parser.add_argument("--sigma-l", type=float, required=True)
+    advise_parser.add_argument("--s-t", type=float, default=0.2)
+    advise_parser.add_argument("--s-l", type=float, default=0.1)
+    advise_parser.add_argument("--t-rows", type=float, default=1.6e9)
+    advise_parser.add_argument("--l-rows", type=float, default=15e9)
+    advise_parser.add_argument("--format", default="parquet")
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="sweep selectivities over chosen algorithms"
+    )
+    sweep_parser.add_argument("--sigma-t", type=float, nargs="+",
+                              default=[0.1])
+    sweep_parser.add_argument("--sigma-l", type=float, nargs="+",
+                              default=[0.01, 0.1, 0.2])
+    sweep_parser.add_argument("--s-l", type=float, default=0.1)
+    sweep_parser.add_argument("--format", default="parquet")
+    sweep_parser.add_argument(
+        "--algorithms", nargs="+",
+        default=["db(BF)", "repartition(BF)", "zigzag"],
+    )
+
+    experiments_parser = subparsers.add_parser(
+        "experiments", help="reproduce the paper's tables and figures"
+    )
+    experiments_parser.add_argument("ids", nargs="*")
+    experiments_parser.add_argument("--figures", action="store_true",
+                                    help="render ASCII bar charts")
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "demo": _cmd_demo,
+        "sql": _cmd_sql,
+        "advise": _cmd_advise,
+        "sweep": _cmd_sweep,
+        "experiments": _cmd_experiments,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,71 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.bench                 # run every experiment, print
+    python -m repro.bench table1 fig8     # run a subset
+    python -m repro.bench --list          # list experiment ids
+    python -m repro.bench --scale 50000   # 1/50000 data-plane scale
+    python -m repro.bench --output DIR    # also write one report per id
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.bench.experiments import EXPERIMENTS, experiment_by_id
+from repro.bench.harness import WarehouseCache
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Reproduce the tables and figures of 'Joins for "
+                    "Hybrid Warehouses' (EDBT 2015).",
+    )
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment ids (default: all)")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments and exit")
+    parser.add_argument("--scale", type=float, default=25_000,
+                        help="data-plane scale divisor (default 25000, "
+                             "i.e. 1/25000 of the paper's table sizes)")
+    parser.add_argument("--output", type=pathlib.Path, default=None,
+                        help="directory to write per-experiment reports")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for experiment_id, experiment in EXPERIMENTS.items():
+            print(f"{experiment_id:<28s} {experiment.title}")
+        return 0
+
+    ids = args.experiments or list(EXPERIMENTS)
+    cache = WarehouseCache(scale=1.0 / args.scale)
+    failures = 0
+    for experiment_id in ids:
+        experiment = experiment_by_id(experiment_id)
+        started = time.time()
+        result = experiment.run(cache)
+        elapsed = time.time() - started
+        print(f"\n=== {experiment.title} ===")
+        print(f"    ({experiment.paper_ref}; ran in {elapsed:.1f}s wall)")
+        print(result.to_report())
+        if not result.all_passed():
+            failures += 1
+        if args.output:
+            args.output.mkdir(parents=True, exist_ok=True)
+            path = args.output / f"{experiment_id}.txt"
+            path.write_text(result.to_report() + "\n")
+    if failures:
+        print(f"\n{failures} experiment(s) had failing shape checks",
+              file=sys.stderr)
+        return 1
+    print(f"\nall {len(ids)} experiments reproduced their paper claims")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,118 @@
+"""ASCII rendering of experiment results in the paper's figure style.
+
+The paper's figures are grouped bar charts (algorithms side by side per
+x value, seconds on the y axis).  :func:`render_grouped_bars` produces a
+terminal rendition of the same shape so the reproduction's output can be
+eyeballed against the paper without a plotting stack:
+
+::
+
+    Figure 8a (seconds)
+    sigma_L=0.1  repartition      |############################  181.7
+                 repartition(BF)  |############################  181.7
+                 zigzag           |##########                     63.3
+    sigma_L=0.2  ...
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+
+#: Width (characters) of a bar representing the largest value.
+DEFAULT_BAR_WIDTH = 42
+
+
+def render_grouped_bars(
+    rows: Sequence[Dict],
+    group_key: str,
+    series_key: str,
+    value_key: str,
+    title: str = "",
+    bar_width: int = DEFAULT_BAR_WIDTH,
+    panel_key: Optional[str] = None,
+) -> str:
+    """Render rows as grouped horizontal bars, one panel at a time."""
+    if not rows:
+        raise ReproError("no rows to render")
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    panels = (
+        list(dict.fromkeys(row[panel_key] for row in rows))
+        if panel_key else [None]
+    )
+    for panel in panels:
+        panel_rows = [
+            row for row in rows
+            if panel_key is None or row[panel_key] == panel
+        ]
+        if panel is not None:
+            lines.append(f"panel {panel}:")
+        lines.extend(
+            _render_panel(panel_rows, group_key, series_key, value_key,
+                          bar_width)
+        )
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def _render_panel(rows, group_key, series_key, value_key, bar_width):
+    groups = list(dict.fromkeys(row[group_key] for row in rows))
+    series = list(dict.fromkeys(row[series_key] for row in rows))
+    peak = max(float(row[value_key]) for row in rows)
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(str(name)) for name in series)
+    group_width = max(len(f"{group_key}={g}") for g in groups)
+
+    lines: List[str] = []
+    for group in groups:
+        first = True
+        for name in series:
+            matches = [
+                row for row in rows
+                if row[group_key] == group and row[series_key] == name
+            ]
+            if not matches:
+                continue
+            value = float(matches[0][value_key])
+            bar = "#" * max(1, round(value / peak * bar_width))
+            group_label = f"{group_key}={group}" if first else ""
+            first = False
+            lines.append(
+                f"{group_label:<{group_width}}  "
+                f"{str(name):<{label_width}}  |{bar:<{bar_width}} "
+                f"{value:8.1f}"
+            )
+        lines.append("")
+    if lines and not lines[-1]:
+        lines.pop()
+    return lines
+
+
+def render_experiment(result, bar_width: int = DEFAULT_BAR_WIDTH) -> str:
+    """Best-effort figure rendering of an :class:`ExperimentResult`.
+
+    Uses the conventional column names the experiments emit; falls back
+    to the plain table when the rows don't have a bar-chart shape.
+    """
+    rows = result.rows
+    if not rows or "seconds" not in rows[0]:
+        return result.to_table()
+    candidates = [key for key in ("sigma_L", "value", "S_T'", "budget_"
+                                  "rows_per_worker", "filter_mb", "scheme")
+                  if key in rows[0]]
+    series_key = "algorithm" if "algorithm" in rows[0] else None
+    if series_key is None or not candidates:
+        return result.to_table()
+    return render_grouped_bars(
+        rows,
+        group_key=candidates[0],
+        series_key=series_key,
+        value_key="seconds",
+        title=result.title,
+        bar_width=bar_width,
+        panel_key="panel" if "panel" in rows[0] else None,
+    )

@@ -1,0 +1,68 @@
+"""Plain-text reporting of experiment results in the paper's layout."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_rows(headers: Sequence[str], rows: Sequence[Dict],
+                title: str = "") -> str:
+    """Fixed-width table of row dicts, in header order."""
+    cells = [[_fmt(row.get(header, "")) for header in headers]
+             for row in rows]
+    widths = [
+        max(len(str(header)), *(len(row[i]) for row in cells))
+        if cells else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(
+        str(header).ljust(width) for header, width in zip(headers, widths)
+    ))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in cells:
+        lines.append("  ".join(
+            value.ljust(width) for value, width in zip(row, widths)
+        ))
+    return "\n".join(lines)
+
+
+def format_series(rows: Sequence[Dict], x_key: str, y_key: str,
+                  series_key: str, title: str = "") -> str:
+    """Pivot rows into one line per series — the shape of a figure panel.
+
+    Example output::
+
+        fig12(a) sigma_T=0.05 — seconds by sigma_L
+        db           46.9   47.2  169.4  336.5
+        hdfs-best    47.7   48.3   53.1  102.4
+    """
+    x_values = list(dict.fromkeys(row[x_key] for row in rows))
+    series = list(dict.fromkeys(row[series_key] for row in rows))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "".join(f"{_fmt(x):>10s}" for x in x_values)
+    lines.append(f"{x_key + ' ->':<18s}{header}")
+    for name in series:
+        values = []
+        for x in x_values:
+            match = [row for row in rows
+                     if row[x_key] == x and row[series_key] == name]
+            values.append(_fmt(match[0][y_key]) if match else "-")
+        lines.append(
+            f"{str(name):<18s}" + "".join(f"{value:>10s}" for value in values)
+        )
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value >= 1000:
+            return f"{value:,.0f}"
+        if 0 < abs(value) < 1:
+            return f"{value:g}"
+        return f"{value:.1f}"
+    return str(value)

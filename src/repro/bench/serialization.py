@@ -1,0 +1,100 @@
+"""JSON persistence for experiment results.
+
+Lets CI store every run's rows and shape-check outcomes as structured
+data (for regression diffing or external plotting) and load them back
+into :class:`~repro.bench.experiments.ExperimentResult` objects.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Union
+
+from repro.bench.experiments import ExperimentResult, ShapeCheck
+from repro.errors import ReproError
+
+#: Format marker for forwards compatibility.
+SCHEMA_VERSION = 1
+
+
+def result_to_dict(result: ExperimentResult) -> dict:
+    """A JSON-serialisable representation of one result."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "headers": list(result.headers),
+        "rows": [dict(row) for row in result.rows],
+        "checks": [
+            {"claim": check.claim, "passed": check.passed}
+            for check in result.checks
+        ],
+        "notes": result.notes,
+        "all_passed": result.all_passed(),
+    }
+
+
+def result_from_dict(payload: dict) -> ExperimentResult:
+    """Rebuild a result object from :func:`result_to_dict` output."""
+    if payload.get("schema_version") != SCHEMA_VERSION:
+        raise ReproError(
+            f"unsupported result schema {payload.get('schema_version')!r}"
+        )
+    return ExperimentResult(
+        experiment_id=payload["experiment_id"],
+        title=payload["title"],
+        headers=list(payload["headers"]),
+        rows=[dict(row) for row in payload["rows"]],
+        checks=[
+            ShapeCheck(claim=check["claim"], passed=check["passed"])
+            for check in payload["checks"]
+        ],
+        notes=payload.get("notes", ""),
+    )
+
+
+def save_result(result: ExperimentResult,
+                path: Union[str, pathlib.Path]) -> pathlib.Path:
+    """Write one result as pretty-printed JSON."""
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(result_to_dict(result), indent=2,
+                               sort_keys=True) + "\n")
+    return path
+
+
+def load_result(path: Union[str, pathlib.Path]) -> ExperimentResult:
+    """Load a result previously written by :func:`save_result`."""
+    payload = json.loads(pathlib.Path(path).read_text())
+    return result_from_dict(payload)
+
+
+def diff_results(before: ExperimentResult, after: ExperimentResult,
+                 value_key: str = "seconds",
+                 tolerance: float = 0.10) -> list:
+    """Rows whose ``value_key`` moved by more than ``tolerance`` (rel).
+
+    A small regression-checking helper: pair rows positionally (the
+    experiments emit deterministic row orders) and report drifts.
+    """
+    if before.experiment_id != after.experiment_id:
+        raise ReproError(
+            "cannot diff results of different experiments: "
+            f"{before.experiment_id!r} vs {after.experiment_id!r}"
+        )
+    drifts = []
+    for index, (old, new) in enumerate(zip(before.rows, after.rows)):
+        old_value = old.get(value_key)
+        new_value = new.get(value_key)
+        if old_value is None or new_value is None:
+            continue
+        base = max(abs(float(old_value)), 1e-12)
+        drift = abs(float(new_value) - float(old_value)) / base
+        if drift > tolerance:
+            drifts.append({
+                "row": index,
+                "old": old_value,
+                "new": new_value,
+                "drift": drift,
+            })
+    return drifts

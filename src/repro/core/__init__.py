@@ -1,0 +1,38 @@
+"""The paper's primary contribution: Bloom-filtered hybrid-warehouse joins.
+
+``repro.core`` holds the Bloom filter implementation, the five join
+algorithms of Section 3 (DB-side with and without Bloom filter,
+HDFS-side broadcast, HDFS-side repartition with and without Bloom
+filter, and the new zigzag join), the semi-join baselines from the
+related-work discussion, and the join-site advisor distilled from the
+paper's experimental conclusions (Section 5.5).
+"""
+
+from repro.core.bloom import BloomFilter
+from repro.core.joins import (
+    ALGORITHMS,
+    BroadcastJoin,
+    DbSideJoin,
+    JoinAlgorithm,
+    JoinResult,
+    JoinStats,
+    RepartitionJoin,
+    ZigzagJoin,
+    algorithm_by_name,
+)
+from repro.core.advisor import AdvisorDecision, JoinAdvisor
+
+__all__ = [
+    "ALGORITHMS",
+    "AdvisorDecision",
+    "BloomFilter",
+    "BroadcastJoin",
+    "DbSideJoin",
+    "JoinAdvisor",
+    "JoinAlgorithm",
+    "JoinResult",
+    "JoinStats",
+    "RepartitionJoin",
+    "ZigzagJoin",
+    "algorithm_by_name",
+]

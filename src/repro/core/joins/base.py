@@ -1,0 +1,289 @@
+"""Join algorithm interface, statistics and results.
+
+A :class:`JoinAlgorithm` takes a :class:`~repro.warehouse.HybridWarehouse`
+and a :class:`~repro.query.query.HybridQuery`, executes the real data
+plane, prices a :class:`~repro.sim.trace.Trace`, replays it, and returns
+a :class:`JoinResult` bundling the answer, the movement statistics (the
+paper's Table 1 numbers) and the simulated timing (the paper's figures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, List, Optional, Type
+
+from repro.errors import JoinError
+from repro.relational.table import Table
+from repro.sim.replay import TimingResult, replay_trace
+from repro.sim.trace import Trace
+from repro.core.joins.costing import JoinCosting
+from repro.query.query import HybridQuery
+
+
+@dataclass
+class JoinStats:
+    """Raw data-plane movement counts for one run.
+
+    All counts are at the *materialised* scale; use :meth:`scaled` with
+    the run's scale-up factor for paper-scale numbers (what Table 1
+    reports).
+    """
+
+    hdfs_rows_scanned: float = 0.0
+    hdfs_stored_bytes_scanned: float = 0.0
+    hdfs_rows_after_predicates: float = 0.0
+    hdfs_rows_after_bloom: float = 0.0
+    #: Tuples entering the JEN-to-JEN shuffle (Table 1, column 1).
+    hdfs_tuples_shuffled: float = 0.0
+    #: Filtered HDFS tuples shipped into the database (DB-side join).
+    hdfs_tuples_to_db: float = 0.0
+    #: Database tuples shipped to the HDFS side (Table 1, column 2).
+    db_tuples_sent: float = 0.0
+    #: Copies each exported DB tuple takes (broadcast join: one per JEN
+    #: worker).  Not rescaled.
+    db_send_copies: float = 1.0
+    db_rows_scanned: float = 0.0
+    #: Bloom filter bytes moved, already at paper scale.
+    bloom_bytes_moved: float = 0.0
+    db_internal_shuffle_bytes: float = 0.0
+    join_output_tuples: float = 0.0
+    result_rows: float = 0.0
+    #: Tuples written to and re-read from disk by spilling JEN joins.
+    spilled_tuples: float = 0.0
+
+    def scaled(self, multiplier: float) -> "JoinStats":
+        """Counts multiplied up to paper scale (Bloom bytes unchanged)."""
+        unscaled = {"bloom_bytes_moved", "db_send_copies"}
+        values: Dict[str, float] = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            values[spec.name] = (
+                value if spec.name in unscaled else value * multiplier
+            )
+        return JoinStats(**values)
+
+
+@dataclass
+class JoinResult:
+    """Everything one algorithm run produced."""
+
+    algorithm: str
+    result: Table
+    stats: JoinStats
+    trace: Trace
+    timing: TimingResult
+    scale_up: float
+
+    @property
+    def total_seconds(self) -> float:
+        """Simulated end-to-end execution time at paper scale."""
+        return self.timing.total_seconds
+
+    def paper_stats(self) -> JoinStats:
+        """Movement statistics scaled to paper size."""
+        return self.stats.scaled(self.scale_up)
+
+    def critical_path(self) -> List[str]:
+        """The phase chain that determined the simulated makespan."""
+        return self.timing.critical_path(self.trace)
+
+    def summary(self) -> str:
+        """One-line human-readable outcome."""
+        paper = self.paper_stats()
+        return (
+            f"{self.algorithm:<18s} {self.total_seconds:7.1f}s  "
+            f"shuffled={paper.hdfs_tuples_shuffled / 1e6:10.1f}M  "
+            f"db_sent={paper.db_tuples_sent / 1e6:8.1f}M  "
+            f"rows={int(self.result.num_rows)}"
+        )
+
+
+class JoinAlgorithm:
+    """Base class: one hybrid-warehouse join strategy."""
+
+    #: Registry / display name (e.g. ``"zigzag"``).
+    name: str = "base"
+    #: Whether this algorithm uses a database-side Bloom filter.
+    uses_db_bloom: bool = False
+    #: Whether this algorithm uses an HDFS-side Bloom filter.
+    uses_hdfs_bloom: bool = False
+
+    def run(self, warehouse, query: HybridQuery) -> JoinResult:
+        """Execute the algorithm end to end."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared plumbing for subclasses
+    # ------------------------------------------------------------------
+    def _costing(self, warehouse) -> JoinCosting:
+        return JoinCosting(warehouse.config, warehouse.topology)
+
+    def _finish(self, warehouse, query: HybridQuery, result: Table,
+                stats: JoinStats, trace: Trace) -> JoinResult:
+        """Replay the trace and assemble the result object."""
+        timing = replay_trace(trace)
+        return JoinResult(
+            algorithm=self.name,
+            result=result,
+            stats=stats,
+            trace=trace,
+            timing=timing,
+            scale_up=1.0 / warehouse.config.scale,
+        )
+
+    @staticmethod
+    def _wire_row_bytes(tables: List[Table]) -> int:
+        """Logical row width of the (first non-degenerate) wire table."""
+        if not tables:
+            raise JoinError("no wire tables")
+        return tables[0].row_bytes()
+
+    def _memory_budget_rows(self, warehouse) -> float:
+        """Per-worker build-side memory limit at data-plane scale."""
+        budget = warehouse.config.jen_memory_budget_rows
+        if budget <= 0:
+            return 0.0
+        return budget * warehouse.config.scale
+
+    def _add_spill_phase(self, costing, trace, stats: JoinStats,
+                         join_stats, row_bytes: float, gate):
+        """Record a spill phase if the local joins fragmented.
+
+        Returns the gate the probe phase must wait on.
+        """
+        if join_stats.spilled_tuples <= 0:
+            return gate
+        stats.spilled_tuples = join_stats.spilled_tuples
+        trace.add("spill_io", "disk",
+                  costing.jen_spill_seconds(
+                      join_stats.spilled_tuples, row_bytes
+                  ),
+                  after=list(gate),
+                  description=f"Grace-hash spill "
+                              f"({join_stats.max_fragments} fragments)",
+                  tuples=join_stats.spilled_tuples)
+        return ["spill_io"]
+
+    # The three steps every algorithm shares: filtering T locally,
+    # building/multicasting BF_DB, and the distributed HDFS scan.  Keeping
+    # them here guarantees all algorithms price them identically.
+
+    def _run_db_filter(self, warehouse, query: HybridQuery, costing, trace,
+                       stats: JoinStats, description: str
+                       ) -> List[Table]:
+        """Step 1 on the database: local predicates + projection on T."""
+        database = warehouse.database
+        t_parts, worker_stats = database.filter_project(
+            query.db_table, query.db_predicate, list(query.db_projection)
+        )
+        t_meta = database.table_meta(query.db_table)
+        raw_t_bytes = t_meta.num_rows * t_meta.schema.row_width()
+        matched = sum(s.rows_out for s in worker_stats)
+        index_available = database.workers[0].find_covering_index(
+            query.db_table, list(query.db_predicate.columns())
+        ) is not None
+        stats.db_rows_scanned = t_meta.num_rows
+        trace.add("db_filter", "db_scan",
+                  costing.db_table_scan_seconds(
+                      raw_t_bytes, matched, index_available
+                  ),
+                  after=["startup"],
+                  description=description,
+                  volume_bytes=raw_t_bytes,
+                  tuples=matched)
+        return t_parts
+
+    def _run_bf_db(self, warehouse, query: HybridQuery, costing, trace,
+                   stats: JoinStats):
+        """Build BF_DB (index-only when possible) and multicast it."""
+        bloom_result = warehouse.database.build_global_bloom(
+            query.db_table,
+            query.db_predicate,
+            query.db_join_key,
+            num_bits=warehouse.config.bloom_bits(),
+            num_hashes=warehouse.config.bloom.num_hashes,
+        )
+        trace.add("bf_db_build", "bloom",
+                  costing.db_bloom_build_seconds(
+                      bloom_result.rows_accessed * 16.0,
+                      bloom_result.keys_added,
+                      bloom_result.index_only,
+                  ),
+                  after=["startup"],
+                  description="local BF build "
+                              + ("(index-only)" if bloom_result.index_only
+                                 else "(table scan)")
+                              + " + OR-merge")
+        trace.add("bf_db_send", "bloom",
+                  costing.bloom_to_jen_seconds(),
+                  after=["bf_db_build"],
+                  description="multicast BF_DB to JEN workers")
+        stats.bloom_bytes_moved += (
+            costing.bloom_bytes() * warehouse.jen.num_workers
+        )
+        return bloom_result.bloom
+
+    def _run_hdfs_scan(self, warehouse, query: HybridQuery, costing, trace,
+                       stats: JoinStats, gate, db_bloom=None,
+                       build_local_blooms: bool = False):
+        """Distributed scan of L through the JEN process pipeline."""
+        scan = warehouse.jen.distributed_scan(
+            query, db_bloom=db_bloom, build_local_blooms=build_local_blooms
+        )
+        stats.hdfs_rows_scanned = scan.stats.rows_scanned
+        stats.hdfs_stored_bytes_scanned = scan.stats.stored_bytes_scanned
+        stats.hdfs_rows_after_predicates = scan.stats.rows_after_predicates
+        stats.hdfs_rows_after_bloom = scan.stats.rows_after_bloom
+        meta = warehouse.hdfs.table_meta(query.hdfs_table)
+        total_blocks = scan.stats.local_blocks + scan.stats.remote_blocks
+        remote_fraction = (
+            scan.stats.remote_blocks / total_blocks if total_blocks else 0.0
+        )
+        trace.add("hdfs_scan", "hdfs_scan",
+                  costing.hdfs_scan_seconds(
+                      scan.stats.stored_bytes_scanned,
+                      scan.stats.rows_scanned,
+                      meta.format_name,
+                      remote_fraction=remote_fraction,
+                  ),
+                  after=list(gate),
+                  description=f"scan L ({meta.format_name}): predicates, "
+                              "projection"
+                              + (", BF_DB" if db_bloom is not None else "")
+                              + (", build BF_H" if build_local_blooms
+                                 else ""),
+                  volume_bytes=scan.stats.stored_bytes_scanned,
+                  tuples=scan.stats.rows_scanned)
+        return scan
+
+
+#: Registry of available algorithms by name.
+ALGORITHMS: Dict[str, Type[JoinAlgorithm]] = {}
+
+
+def register_algorithm(cls: Type[JoinAlgorithm]) -> Type[JoinAlgorithm]:
+    """Class decorator adding an algorithm to the registry."""
+    if cls.name in ALGORITHMS:
+        raise JoinError(f"duplicate algorithm name {cls.name!r}")
+    ALGORITHMS[cls.name] = cls
+    return cls
+
+
+def algorithm_by_name(name: str, **kwargs) -> JoinAlgorithm:
+    """Instantiate a registered algorithm.
+
+    Accepts the plain names plus the paper's ``(BF)`` suffix convention:
+    ``"repartition(BF)"`` and ``"db(BF)"`` enable the Bloom filter on the
+    corresponding base algorithm.
+    """
+    if name.endswith("(BF)"):
+        base = name[:-4].rstrip()
+        kwargs.setdefault("use_bloom", True)
+        name = base
+    try:
+        cls = ALGORITHMS[name]
+    except KeyError:
+        raise JoinError(
+            f"unknown join algorithm {name!r}; have {sorted(ALGORITHMS)}"
+        ) from None
+    return cls(**kwargs)

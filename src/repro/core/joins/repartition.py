@@ -1,0 +1,151 @@
+"""HDFS-side repartition join, with or without a Bloom filter
+(paper Sections 3.3 and 4.4).
+
+Steps (Figure 3):
+
+1. DB workers apply local predicates and projection; with the Bloom
+   filter variant they also build local filters that merge into BF_DB.
+2. BF_DB is multicast to the JEN workers; the DB workers send T′ using
+   the *agreed* hash function, so rows land directly on the JEN worker
+   that will join them.
+3. JEN workers scan L, apply predicates, projection and BF_DB, and
+   shuffle the survivors with the same hash — interleaved with the scan.
+4. Each worker builds a hash table on the L rows it receives (while the
+   shuffle is still running), buffers arriving database rows, then
+   probes, applies the post-join predicate and partially aggregates.
+5. A designated worker computes the final aggregate and returns it.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.joins.base import (
+    JoinAlgorithm,
+    JoinResult,
+    JoinStats,
+    register_algorithm,
+)
+from repro.relational.table import Table
+from repro.sim.trace import Trace
+from repro.query.query import HybridQuery
+
+
+@register_algorithm
+class RepartitionJoin(JoinAlgorithm):
+    """Repartition-based HDFS-side join; ``use_bloom`` adds BF_DB."""
+
+    name = "repartition"
+
+    def __init__(self, use_bloom: bool = False):
+        self.use_bloom = use_bloom
+        self.uses_db_bloom = use_bloom
+
+    @property
+    def display_name(self) -> str:
+        """Paper-style label."""
+        return "repartition(BF)" if self.use_bloom else "repartition"
+
+    def run(self, warehouse, query: HybridQuery) -> JoinResult:
+        costing = self._costing(warehouse)
+        jen = warehouse.jen
+        stats = JoinStats()
+        trace = Trace(label=self.display_name)
+        trace.add("startup", "latency", costing.startup_seconds(),
+                  description="UDF invocation, DB<->JEN connections")
+
+        # -- Step 1: local predicates + projection on T ------------------
+        t_parts = self._run_db_filter(
+            warehouse, query, costing, trace, stats,
+            description="apply local predicates + projection on T",
+        )
+
+        # -- Optional: BF_DB build + multicast ---------------------------
+        db_bloom = None
+        scan_gate = ["startup"]
+        if self.use_bloom:
+            db_bloom = self._run_bf_db(warehouse, query, costing, trace,
+                                       stats)
+            scan_gate = ["startup", "bf_db_send"]
+
+        # -- Step 3: scan L with predicates (+ BF_DB), shuffle -----------
+        scan = self._run_hdfs_scan(
+            warehouse, query, costing, trace, stats, scan_gate,
+            db_bloom=db_bloom,
+        )
+        shuffled = jen.shuffle_by_key(scan.wire_tables, query.hdfs_join_key)
+        stats.hdfs_tuples_shuffled = shuffled.tuples_shuffled
+        l_wire_bytes = self._wire_row_bytes(scan.wire_tables)
+        shuffle_skew = max(1.0, warehouse.config.shuffle_skew)
+        trace.add("jen_shuffle", "shuffle",
+                  costing.jen_shuffle_seconds(
+                      shuffled.tuples_shuffled, l_wire_bytes,
+                      skew=shuffle_skew,
+                  ),
+                  streams_from=["hdfs_scan"],
+                  description="agreed-hash shuffle of L' among JEN workers",
+                  tuples=shuffled.tuples_shuffled)
+        trace.add("hash_build", "cpu",
+                  costing.hash_build_seconds(
+                      shuffled.tuples_shuffled, skew=shuffle_skew
+                  ),
+                  streams_from=["jen_shuffle"],
+                  description="build hash tables on received L' rows",
+                  tuples=shuffled.tuples_shuffled)
+
+        # -- Step 2 (concurrent): ship T' by the agreed hash -------------
+        t_dest = _route_db_rows(t_parts, query.db_join_key, jen.num_workers)
+        t_tuples = sum(part.num_rows for part in t_parts)
+        t_wire_bytes = t_parts[0].row_bytes()
+        stats.db_tuples_sent = t_tuples
+        trace.add("db_export", "transfer",
+                  costing.db_export_seconds(t_tuples, t_wire_bytes),
+                  after=["db_filter"],
+                  description="DB workers send T' via agreed hash",
+                  tuples=t_tuples,
+                  volume_bytes=t_tuples * t_wire_bytes)
+
+        # -- Steps 4-6: probe, aggregate, return -------------------------
+        result, join_stats = jen.join_and_aggregate(
+            shuffled.per_destination, t_dest, query,
+            memory_budget_rows=self._memory_budget_rows(warehouse),
+        )
+        stats.join_output_tuples = join_stats.join_output_tuples
+        stats.result_rows = join_stats.result_rows
+        probe_gate = self._add_spill_phase(
+            costing, trace, stats, join_stats, l_wire_bytes,
+            ["hash_build"],
+        )
+        trace.add("probe", "cpu",
+                  costing.probe_seconds(
+                      t_tuples, join_stats.join_output_tuples
+                  ),
+                  after=probe_gate,
+                  streams_from=["db_export"],
+                  description="probe with database rows",
+                  tuples=t_tuples)
+        trace.add("aggregate", "cpu",
+                  costing.jen_aggregate_seconds(
+                      join_stats.join_output_tuples
+                  ),
+                  streams_from=["probe"],
+                  description="post-join predicate, partial + final agg",
+                  tuples=join_stats.join_output_tuples)
+        trace.add("result_return", "latency",
+                  costing.result_return_seconds(),
+                  after=["aggregate"],
+                  description="return final aggregate to the database")
+        return self._finish(warehouse, query, result, stats, trace)
+
+
+def _route_db_rows(t_parts: List[Table], key: str,
+                   num_jen_workers: int) -> List[Table]:
+    """Regroup DB workers' outgoing rows by the agreed hash destination."""
+    from repro.edw.worker import DbWorker
+
+    per_destination: List[List[Table]] = [[] for _ in range(num_jen_workers)]
+    for part in t_parts:
+        routed = DbWorker.partition_for_send(part, key, num_jen_workers)
+        for destination, piece in enumerate(routed):
+            per_destination[destination].append(piece)
+    return [Table.concat(pieces) for pieces in per_destination]

@@ -1,0 +1,29 @@
+"""Shared-nothing parallel database substrate (the paper's DB2 DPF role).
+
+The database owns the up-to-date transaction table: it is hash-distributed
+across workers on a distribution key, each worker can scan, filter and
+project its partition, build local Bloom filters that are OR-merged into
+a global one (the ``cal_filter``/``get_filter``/``combine_filter`` UDF
+pipeline), and the optimizer picks broadcast vs. repartition for joins
+executed inside the database.
+"""
+
+from repro.edw.partitioner import agreed_hash_partition, db_internal_partition
+from repro.edw.index import SecondaryIndex
+from repro.edw.worker import DbWorker
+from repro.edw.database import DbTableMeta, ParallelDatabase
+from repro.edw.optimizer import DbJoinStrategy, choose_db_join_strategy
+from repro.edw.udf import UdfRegistry, default_udf_registry
+
+__all__ = [
+    "DbJoinStrategy",
+    "DbTableMeta",
+    "DbWorker",
+    "ParallelDatabase",
+    "SecondaryIndex",
+    "UdfRegistry",
+    "agreed_hash_partition",
+    "choose_db_join_strategy",
+    "db_internal_partition",
+    "default_udf_registry",
+]

@@ -1,0 +1,137 @@
+"""Secondary indexes on database worker partitions.
+
+The paper builds two indexes on the transaction table: one on
+``(corPred, indPred)`` to evaluate local predicates, and one on
+``(corPred, indPred, joinKey)`` that makes the Bloom-filter build an
+*index-only* plan — and makes the zigzag join's second table access
+cheap, which is central to why two-way Bloom filters pay off in the
+hybrid warehouse but not in a homogeneous one (Section 3.4).
+
+The index is a real data structure (sorted projection with binary
+search), not a cost-model flag: lookups return row ids without touching
+the base table, and :attr:`covers` reports whether a requested column
+list can be answered index-only.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CatalogError
+from repro.relational.expressions import (
+    ColumnPredicate,
+    CompareOp,
+    Conjunction,
+    Predicate,
+    TruePredicate,
+)
+from repro.relational.table import Table
+
+
+class SecondaryIndex:
+    """A covering index over one worker's partition."""
+
+    def __init__(self, name: str, table: Table, key_columns: Sequence[str]):
+        if not key_columns:
+            raise CatalogError(f"index {name!r} needs at least one column")
+        for column in key_columns:
+            table.schema.column(column)
+        self.name = name
+        self.key_columns: Tuple[str, ...] = tuple(key_columns)
+        # Sort row ids by the leading key column; the entries arrays are
+        # the index's leaf pages.
+        leading = table.column(self.key_columns[0])
+        self._order = np.argsort(leading, kind="stable").astype(np.int64)
+        self._leading_sorted = leading[self._order]
+        self._entries: Dict[str, np.ndarray] = {
+            column: table.column(column)[self._order]
+            for column in self.key_columns
+        }
+        self.num_entries = table.num_rows
+
+    def covers(self, columns: Sequence[str]) -> bool:
+        """True if all ``columns`` are materialised in the index."""
+        return set(columns) <= set(self.key_columns)
+
+    def entry_bytes(self, table: Table) -> int:
+        """Logical width of one index entry (for cost accounting)."""
+        return table.schema.row_width(self.key_columns) + 8  # plus row id
+
+    # ------------------------------------------------------------------
+    def lookup_rows(self, predicate: Optional[Predicate],
+                    source: Table) -> np.ndarray:
+        """Row ids (into the base partition) satisfying ``predicate``.
+
+        Uses a range scan on the leading column when the predicate allows
+        it, then filters the remaining conjuncts against the index
+        entries; conjuncts on non-indexed columns raise, since this index
+        cannot answer them alone.
+        """
+        if predicate is None or isinstance(predicate, TruePredicate):
+            return self._order.copy()
+        conjuncts = _flatten_conjuncts(predicate)
+        for conjunct in conjuncts:
+            if not isinstance(conjunct, ColumnPredicate):
+                raise CatalogError(
+                    f"index {self.name!r} cannot evaluate {conjunct!r}"
+                )
+            if conjunct.column not in self.key_columns:
+                raise CatalogError(
+                    f"index {self.name!r} does not cover column "
+                    f"{conjunct.column!r}"
+                )
+        lo, hi = self._leading_range(conjuncts)
+        candidates = slice(lo, hi)
+        mask = np.ones(hi - lo, dtype=bool)
+        for conjunct in conjuncts:
+            values = self._entries[conjunct.column][candidates]
+            mask &= conjunct.op.apply(values, conjunct.literal)
+        return self._order[candidates][mask]
+
+    def entries_for_rows(self, column: str, rows: np.ndarray) -> np.ndarray:
+        """Index-only fetch of ``column`` values for base-table row ids."""
+        if column not in self.key_columns:
+            raise CatalogError(
+                f"index {self.name!r} does not materialise {column!r}"
+            )
+        # Invert the order permutation lazily.
+        inverse = np.empty_like(self._order)
+        inverse[self._order] = np.arange(len(self._order))
+        return self._entries[column][inverse[rows]]
+
+    def _leading_range(self, conjuncts) -> Tuple[int, int]:
+        lo, hi = 0, self.num_entries
+        leading = self.key_columns[0]
+        for conjunct in conjuncts:
+            if conjunct.column != leading:
+                continue
+            literal = conjunct.literal
+            if conjunct.op in (CompareOp.LE,):
+                hi = min(hi, int(np.searchsorted(
+                    self._leading_sorted, literal, side="right")))
+            elif conjunct.op in (CompareOp.LT,):
+                hi = min(hi, int(np.searchsorted(
+                    self._leading_sorted, literal, side="left")))
+            elif conjunct.op in (CompareOp.GE,):
+                lo = max(lo, int(np.searchsorted(
+                    self._leading_sorted, literal, side="left")))
+            elif conjunct.op in (CompareOp.GT,):
+                lo = max(lo, int(np.searchsorted(
+                    self._leading_sorted, literal, side="right")))
+            elif conjunct.op is CompareOp.EQ:
+                lo = max(lo, int(np.searchsorted(
+                    self._leading_sorted, literal, side="left")))
+                hi = min(hi, int(np.searchsorted(
+                    self._leading_sorted, literal, side="right")))
+        return lo, max(lo, hi)
+
+
+def _flatten_conjuncts(predicate: Predicate):
+    if isinstance(predicate, Conjunction):
+        flattened = []
+        for child in predicate.children:
+            flattened.extend(_flatten_conjuncts(child))
+        return flattened
+    return [predicate]

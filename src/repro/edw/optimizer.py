@@ -1,0 +1,59 @@
+"""The database optimizer's join-strategy choice.
+
+The DB-side join hands the optimizer two inputs: the locally filtered
+T′ partitions (distributed on the table's distribution key, *not* the
+join key) and the HDFS rows that arrived from JEN (grouped arbitrarily
+by the ingest topology).  DB2 then picks one of three physical plans
+(paper Section 4.3):
+
+* broadcast the database side when T′ is much smaller,
+* broadcast the HDFS side when L″ is much smaller,
+* otherwise repartition both sides on the join key.
+
+The choice is a simple cost comparison over the bytes each plan moves
+across the database interconnect, which is exactly the information the
+paper says it passes to DB2 as a cardinality hint on ``read_hdfs``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class DbJoinStrategy(enum.Enum):
+    """Physical in-database join strategies."""
+
+    BROADCAST_DB_SIDE = "broadcast_db_side"
+    BROADCAST_HDFS_SIDE = "broadcast_hdfs_side"
+    REPARTITION_BOTH = "repartition_both"
+
+
+@dataclass(frozen=True)
+class DbJoinChoice:
+    """The selected strategy plus the bytes it will move internally."""
+
+    strategy: DbJoinStrategy
+    internal_bytes: float
+
+
+def choose_db_join_strategy(
+    db_bytes: float,
+    hdfs_bytes: float,
+    num_workers: int,
+) -> DbJoinChoice:
+    """Pick the cheapest in-database plan by bytes moved.
+
+    Broadcasting side X costs ``bytes(X) * workers``; repartitioning
+    moves each side once.  Equal-cost ties resolve to repartitioning,
+    the robust default.
+    """
+    broadcast_db = db_bytes * num_workers
+    broadcast_hdfs = hdfs_bytes * num_workers
+    repartition = db_bytes + hdfs_bytes
+    cheapest = min(broadcast_db, broadcast_hdfs, repartition)
+    if cheapest == repartition:
+        return DbJoinChoice(DbJoinStrategy.REPARTITION_BOTH, repartition)
+    if cheapest == broadcast_hdfs:
+        return DbJoinChoice(DbJoinStrategy.BROADCAST_HDFS_SIDE, broadcast_hdfs)
+    return DbJoinChoice(DbJoinStrategy.BROADCAST_DB_SIDE, broadcast_db)

@@ -1,0 +1,53 @@
+"""Hash partitioning functions.
+
+Two distinct hash functions exist on purpose:
+
+* :func:`db_internal_partition` is the database's private distribution
+  hash.  The paper stresses that JEN has no access to it, which is why
+  HDFS data ingested by the DB-side join may need a second shuffle
+  inside the database.
+* :func:`agreed_hash_partition` is the hash function the database and
+  JEN *agree on* for the repartition and zigzag joins, so records sent
+  from the database land directly on the JEN worker that will join them
+  (Section 3.3/3.4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PartitioningError
+
+_AGREED_MULT = np.uint64(0x9E3779B97F4A7C15)
+_DB_MULT = np.uint64(0xC2B2AE3D27D4EB4F)
+
+
+def _check(num_partitions: int) -> None:
+    if num_partitions <= 0:
+        raise PartitioningError(
+            f"num_partitions must be positive, got {num_partitions}"
+        )
+
+
+def _mix(keys: np.ndarray, multiplier: np.uint64) -> np.ndarray:
+    x = np.asarray(keys).astype(np.uint64)
+    with np.errstate(over="ignore"):
+        x = x * multiplier
+        x ^= x >> np.uint64(29)
+        x = x * np.uint64(0xBF58476D1CE4E5B9)
+        x ^= x >> np.uint64(32)
+    return x
+
+
+def agreed_hash_partition(keys: np.ndarray, num_partitions: int) -> np.ndarray:
+    """Partition numbers under the DB↔JEN agreed hash function."""
+    _check(num_partitions)
+    return (_mix(keys, _AGREED_MULT) % np.uint64(num_partitions)).astype(
+        np.int64
+    )
+
+
+def db_internal_partition(keys: np.ndarray, num_partitions: int) -> np.ndarray:
+    """Partition numbers under the database's private distribution hash."""
+    _check(num_partitions)
+    return (_mix(keys, _DB_MULT) % np.uint64(num_partitions)).astype(np.int64)

@@ -1,0 +1,94 @@
+"""The UDF registry: the paper's C-UDF surface as Python callables.
+
+The paper drives every algorithm from a single SQL statement whose UDFs
+do the cross-system work (Section 4.1.1):
+
+* ``cal_filter`` / ``get_filter`` — build a Bloom filter over a worker's
+  local join keys;
+* ``combine_filter`` — OR local filters into the global one;
+* ``read_hdfs`` — contact the JEN coordinator, push predicates,
+  projection and the Bloom filter to the JEN workers, and stream the
+  filtered HDFS rows back;
+* ``extract_group`` — the scalar grouping UDF of the example query.
+
+The registry reproduces that surface so the examples can be written in
+the paper's vocabulary; the join algorithms call the same underlying
+objects directly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.bloom import BloomFilter
+from repro.errors import UdfError
+
+
+class UdfRegistry:
+    """Named user-defined functions, looked up at call sites by name."""
+
+    def __init__(self):
+        self._functions: Dict[str, Callable] = {}
+
+    def register(self, name: str, function: Callable) -> None:
+        """Register a UDF, rejecting duplicates."""
+        if name in self._functions:
+            raise UdfError(f"UDF already registered: {name!r}")
+        self._functions[name] = function
+
+    def call(self, name: str, *args, **kwargs):
+        """Invoke a UDF by name."""
+        try:
+            function = self._functions[name]
+        except KeyError:
+            raise UdfError(
+                f"unknown UDF {name!r}; have {sorted(self._functions)}"
+            ) from None
+        return function(*args, **kwargs)
+
+    def names(self) -> List[str]:
+        """Registered UDF names."""
+        return sorted(self._functions)
+
+
+def _cal_filter(keys: np.ndarray, num_bits: int, num_hashes: int = 2,
+                seed: int = 7) -> BloomFilter:
+    """Build a local Bloom filter over one worker's keys."""
+    bloom = BloomFilter(num_bits, num_hashes, seed)
+    bloom.add(np.asarray(keys))
+    return bloom
+
+
+def _get_filter(bloom: BloomFilter) -> BloomFilter:
+    """Finalize a local filter (identity here; kept for SQL parity)."""
+    return bloom
+
+
+def _combine_filter(filters: Sequence[BloomFilter]) -> BloomFilter:
+    """OR local filters into the global filter."""
+    return BloomFilter.combine(list(filters))
+
+
+def _extract_group(url: str) -> str:
+    """Default grouping UDF: the URL prefix (scheme + host).
+
+    Matches the example query's intent of counting views per
+    ``url_prefix``.
+    """
+    head, separator, _tail = url.partition("://")
+    if not separator:
+        return url.split("/", 1)[0]
+    host = head + "://" + _tail.split("/", 1)[0]
+    return host
+
+
+def default_udf_registry() -> UdfRegistry:
+    """Registry with the paper's UDFs pre-registered."""
+    registry = UdfRegistry()
+    registry.register("cal_filter", _cal_filter)
+    registry.register("get_filter", _get_filter)
+    registry.register("combine_filter", _combine_filter)
+    registry.register("extract_group", _extract_group)
+    return registry

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the hybrid-warehouse reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+applications can catch the whole family with a single ``except`` clause
+while tests can assert on the precise subtype.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed or an operation referenced an unknown column."""
+
+
+class TableError(ReproError):
+    """Columnar table construction or manipulation failed."""
+
+
+class ExpressionError(ReproError):
+    """A predicate or scalar expression is invalid for the given schema."""
+
+
+class PartitioningError(ReproError):
+    """Hash partitioning was asked to do something impossible."""
+
+
+class CatalogError(ReproError):
+    """A database or HDFS catalog lookup failed (unknown table, duplicate)."""
+
+
+class StorageError(ReproError):
+    """HDFS block storage or format encoding/decoding failed."""
+
+
+class BloomFilterError(ReproError):
+    """Bloom filter construction or merging was given incompatible inputs."""
+
+
+class WorkloadError(ReproError):
+    """A synthetic workload specification is infeasible or inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator detected an invalid trace or deadlock."""
+
+
+class JoinError(ReproError):
+    """A join algorithm was invoked with an unsupported configuration."""
+
+
+class OptimizerError(ReproError):
+    """The query optimizer could not produce a plan."""
+
+
+class UdfError(ReproError):
+    """A user-defined function was misused (unknown name, bad arity)."""

@@ -1,0 +1,35 @@
+"""Simulated HDFS: NameNode, DataNodes, blocks and storage formats.
+
+The click-log table of the paper lives here.  Tables are written as
+replicated blocks across DataNodes; scans are block-oriented and
+format-aware — the text format must read whole rows, while the
+Parquet-like columnar format compresses and prunes columns, which is the
+asymmetry behind the paper's Section 5.4 experiments.
+"""
+
+from repro.hdfs.blocks import Block, BlockId
+from repro.hdfs.namenode import NameNode
+from repro.hdfs.datanode import DataNode
+from repro.hdfs.filesystem import HCatalog, HdfsFileSystem, HdfsTableMeta
+from repro.hdfs.formats import (
+    FORMATS,
+    ParquetFormat,
+    StorageFormat,
+    TextFormat,
+    format_by_name,
+)
+
+__all__ = [
+    "Block",
+    "BlockId",
+    "DataNode",
+    "FORMATS",
+    "HCatalog",
+    "HdfsFileSystem",
+    "HdfsTableMeta",
+    "NameNode",
+    "ParquetFormat",
+    "StorageFormat",
+    "TextFormat",
+    "format_by_name",
+]

@@ -1,0 +1,44 @@
+"""HDFS blocks: contiguous row ranges of a stored table.
+
+A block is metadata only — the actual rows are numpy slices held by the
+DataNodes that store replicas.  Block sizing follows the format's stored
+row width so a 128 MB text block holds fewer rows than a 128 MB Parquet
+block, exactly as on a real cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import StorageError
+
+#: Globally unique block identifier.
+BlockId = int
+
+
+@dataclass(frozen=True)
+class Block:
+    """One block of one HDFS file."""
+
+    block_id: BlockId
+    path: str
+    start_row: int
+    num_rows: int
+    stored_bytes: float
+    replicas: Tuple[int, ...]
+
+    def __post_init__(self):
+        if self.num_rows <= 0:
+            raise StorageError(f"block {self.block_id} has no rows")
+        if not self.replicas:
+            raise StorageError(f"block {self.block_id} has no replicas")
+        if len(set(self.replicas)) != len(self.replicas):
+            raise StorageError(
+                f"block {self.block_id} replicated twice on one node"
+            )
+
+    @property
+    def end_row(self) -> int:
+        """One past the last row in this block."""
+        return self.start_row + self.num_rows

@@ -1,0 +1,31 @@
+"""HDFS storage formats: delimited text and Parquet-like columnar."""
+
+from repro.hdfs.formats.base import StorageFormat
+from repro.hdfs.formats.text import TextFormat
+from repro.hdfs.formats.parquet import ParquetFormat
+from repro.hdfs.formats.orc import OrcFormat
+
+from typing import Dict
+
+from repro.errors import StorageError
+
+#: Registry of built-in formats by name.
+FORMATS: Dict[str, StorageFormat] = {
+    "text": TextFormat(),
+    "parquet": ParquetFormat(),
+    "orc": OrcFormat(),
+}
+
+
+def format_by_name(name: str) -> StorageFormat:
+    """Look up a registered storage format."""
+    try:
+        return FORMATS[name]
+    except KeyError:
+        raise StorageError(
+            f"unknown storage format {name!r}; have {sorted(FORMATS)}"
+        ) from None
+
+
+__all__ = ["FORMATS", "OrcFormat", "ParquetFormat", "StorageFormat",
+           "TextFormat", "format_by_name"]

@@ -1,0 +1,60 @@
+"""Storage format interface.
+
+A format answers two questions for the rest of the system:
+
+* how many *stored* bytes does a table (or a projection of it) occupy —
+  which sizes the blocks on disk and prices the scans; and
+* does a scan of a projection have to read whole rows (text) or only the
+  projected columns (columnar with projection pushdown)?
+
+Formats do not own any data: blocks store numpy-backed
+:class:`~repro.relational.table.Table` slices, and the format only
+describes their on-disk footprint.  That keeps the data plane fast while
+the byte accounting remains faithful.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.relational.schema import Column, Schema
+
+
+class StorageFormat:
+    """Base class for HDFS storage formats."""
+
+    #: Registry/display name.
+    name: str = "base"
+    #: Whether a scan of a projection can skip non-projected columns.
+    supports_projection_pushdown: bool = False
+
+    def column_stored_bytes(self, column: Column) -> float:
+        """Stored bytes per value of ``column``."""
+        raise NotImplementedError
+
+    def row_stored_bytes(self, schema: Schema,
+                         columns: Optional[Sequence[str]] = None) -> float:
+        """Stored bytes per row, optionally projected.
+
+        For formats without projection pushdown the projection is
+        irrelevant for *scan* sizing (whole rows are read regardless), so
+        callers use :meth:`scan_bytes_per_row` for pricing scans.
+        """
+        selected = list(schema) if columns is None else [
+            schema.column(name) for name in columns
+        ]
+        return sum(self.column_stored_bytes(column) for column in selected)
+
+    def scan_bytes_per_row(self, schema: Schema,
+                           projected: Optional[Sequence[str]] = None) -> float:
+        """Bytes that must be read per row to scan ``projected`` columns."""
+        if self.supports_projection_pushdown:
+            return self.row_stored_bytes(schema, projected)
+        return self.row_stored_bytes(schema, None)
+
+    def table_stored_bytes(self, schema: Schema, num_rows: int) -> float:
+        """Total stored size of a table in this format."""
+        return self.row_stored_bytes(schema) * num_rows
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

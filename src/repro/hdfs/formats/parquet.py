@@ -1,0 +1,40 @@
+"""Parquet-like columnar format with Snappy-style compression.
+
+Models the two properties the paper exploits (Section 5 / 5.4):
+
+* **column pruning** — a scan touches only the projected columns' bytes
+  (JEN's I/O layer "is able to push down projections when reading from
+  this columnar format");
+* **lightweight compression** — dictionary/RLE plus Snappy shrink the
+  stored bytes; the paper's 1 TB text table becomes 421 GB, a factor of
+  about 2.4, which the default ratios reproduce for the log-table schema.
+"""
+
+from __future__ import annotations
+
+from repro.hdfs.formats.base import StorageFormat
+from repro.relational.schema import Column, DataType
+
+
+class ParquetFormat(StorageFormat):
+    """Columnar storage: compressed columns, projection pushdown."""
+
+    name = "parquet"
+    supports_projection_pushdown = True
+
+    def __init__(self, numeric_ratio: float = 0.55, string_ratio: float = 0.55,
+                 date_ratio: float = 0.50):
+        #: Compressed bytes per stored byte for plain numeric columns.
+        self.numeric_ratio = numeric_ratio
+        #: Compressed bytes per logical character for string columns
+        #: (dictionary encoding plus Snappy).
+        self.string_ratio = string_ratio
+        #: Dates RLE-compress well (the log is roughly time-ordered).
+        self.date_ratio = date_ratio
+
+    def column_stored_bytes(self, column: Column) -> float:
+        if column.dtype is DataType.DICT_STRING:
+            return column.width() * self.string_ratio
+        if column.dtype is DataType.DATE:
+            return column.dtype.default_width() * self.date_ratio
+        return column.dtype.default_width() * self.numeric_ratio

@@ -1,0 +1,89 @@
+"""The JEN coordinator (paper Section 4.1).
+
+Three responsibilities, reproduced directly:
+
+1. manage the worker registry (which workers are up);
+2. broker connections between DB2 workers and JEN workers — the grouped
+   endpoint mapping of Figure 5 — and expose the agreed shuffle hash so
+   database workers can address the right JEN worker directly;
+3. resolve HDFS table metadata from HCatalog, fetch block locations
+   from the NameNode, and hand out locality-aware block assignments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import CatalogError
+from repro.hdfs.filesystem import HdfsFileSystem, HdfsTableMeta
+from repro.jen.scheduler import BlockAssignment, assign_blocks
+from repro.net.transfer import grouped_assignment
+
+
+class JenCoordinator:
+    """Central metadata and connection broker for the JEN workers."""
+
+    def __init__(self, filesystem: HdfsFileSystem, num_workers: int,
+                 locality: bool = True):
+        if num_workers <= 0:
+            raise CatalogError("JEN needs at least one worker")
+        self.filesystem = filesystem
+        self.num_workers = num_workers
+        self.locality = locality
+        self._live_workers: Dict[int, bool] = {
+            worker: True for worker in range(num_workers)
+        }
+        self._assignments: Dict[str, BlockAssignment] = {}
+
+    # ------------------------------------------------------------------
+    # Worker registry
+    # ------------------------------------------------------------------
+    def live_workers(self) -> List[int]:
+        """Ids of workers currently up."""
+        return [worker for worker, up in self._live_workers.items() if up]
+
+    def mark_worker(self, worker_id: int, up: bool) -> None:
+        """Record a worker joining or leaving."""
+        if worker_id not in self._live_workers:
+            raise CatalogError(f"unknown JEN worker {worker_id}")
+        self._live_workers[worker_id] = up
+        # Any cached assignment is invalid once membership changes.
+        self._assignments.clear()
+
+    # ------------------------------------------------------------------
+    # Metadata + scheduling
+    # ------------------------------------------------------------------
+    def table_meta(self, table_name: str) -> HdfsTableMeta:
+        """HCatalog lookup on behalf of the DB2 workers."""
+        return self.filesystem.table_meta(table_name)
+
+    def plan_scan(self, table_name: str) -> BlockAssignment:
+        """Block assignment for a scan of ``table_name`` (cached).
+
+        Only live workers receive blocks; after a failure the plan is
+        recomputed and blocks whose replicas sat on the dead node become
+        remote reads on the survivors.
+        """
+        if table_name not in self._assignments:
+            blocks = self.filesystem.table_blocks(table_name)
+            live = self.live_workers()
+            if not live:
+                raise CatalogError("no live JEN workers")
+            self._assignments[table_name] = assign_blocks(
+                blocks, live, locality=self.locality
+            )
+        return self._assignments[table_name]
+
+    # ------------------------------------------------------------------
+    # Connection brokering (paper Fig. 5)
+    # ------------------------------------------------------------------
+    def db_worker_groups(self, num_db_workers: int) -> List[List[int]]:
+        """JEN worker group each DB worker connects to for ingest."""
+        return grouped_assignment(len(self.live_workers()), num_db_workers)
+
+    def designated_worker(self) -> int:
+        """The worker that merges Bloom filters and final aggregates."""
+        live = self.live_workers()
+        if not live:
+            raise CatalogError("no live JEN workers")
+        return live[0]

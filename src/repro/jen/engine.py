@@ -1,0 +1,218 @@
+"""The Jen facade: the whole HDFS-side engine behind one object.
+
+Join algorithms talk to this class: it wires the coordinator and the
+workers, runs distributed scans (optionally with a pushed-down database
+Bloom filter and/or a local Bloom-filter build), executes the agreed-hash
+shuffle, and finishes local joins with partial plus final aggregation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.config import HybridConfig
+from repro.core.bloom import BloomFilter
+from repro.errors import JoinError
+from repro.hdfs.filesystem import HdfsFileSystem
+from repro.jen.coordinator import JenCoordinator
+from repro.jen.exchange import ShuffleResult, combine_blooms, final_aggregate, shuffle
+from repro.jen.worker import JenWorker, ScanRequest, ScanStats
+from repro.relational.table import Table
+from repro.query.plan import local_join, local_partial_aggregate
+from repro.query.query import HybridQuery
+
+
+@dataclass
+class DistributedScanResult:
+    """Per-worker wire tables plus merged statistics."""
+
+    wire_tables: List[Table]
+    stats: ScanStats
+    local_blooms: Optional[List[BloomFilter]] = None
+
+    def global_bloom(self) -> BloomFilter:
+        """Merge the per-worker Bloom filters (zigzag step 3b/4)."""
+        if not self.local_blooms:
+            raise JoinError("scan was not run with a local Bloom build")
+        return combine_blooms(self.local_blooms)
+
+
+@dataclass
+class LocalJoinStats:
+    """Volume accounting of the distributed local-join stage."""
+
+    build_tuples: int = 0
+    probe_tuples: int = 0
+    join_output_tuples: int = 0
+    result_rows: int = 0
+    #: Tuples written to and re-read from disk by spilling workers
+    #: (Grace-hash fragmenting; 0 when everything fits in memory).
+    spilled_tuples: int = 0
+    #: Largest fragment count any worker needed.
+    max_fragments: int = 1
+
+
+class Jen:
+    """Coordinator + workers of the HDFS-side execution engine."""
+
+    def __init__(self, filesystem: HdfsFileSystem, config: HybridConfig,
+                 locality: bool = True):
+        self.filesystem = filesystem
+        self.config = config
+        num_workers = config.cluster.jen_workers()
+        self.coordinator = JenCoordinator(
+            filesystem, num_workers, locality=locality
+        )
+        self.workers = [
+            JenWorker(worker_id, filesystem)
+            for worker_id in range(num_workers)
+        ]
+
+    @property
+    def num_workers(self) -> int:
+        """Number of live JEN workers."""
+        return len(self.workers)
+
+    def fail_worker(self, worker_id: int) -> None:
+        """Take one worker out of service (paper Section 4.1: the
+        coordinator manages worker state "so that workers know which
+        other workers are up and running").
+
+        Subsequent scans re-plan over the survivors; blocks whose only
+        local replica sat on the dead node are read remotely.
+        """
+        if not any(w.worker_id == worker_id for w in self.workers):
+            raise JoinError(f"no live JEN worker {worker_id}")
+        if len(self.workers) == 1:
+            raise JoinError("cannot fail the last JEN worker")
+        self.workers = [
+            worker for worker in self.workers
+            if worker.worker_id != worker_id
+        ]
+        self.coordinator.mark_worker(worker_id, up=False)
+
+    # ------------------------------------------------------------------
+    def distributed_scan(
+        self,
+        query: HybridQuery,
+        db_bloom: Optional[BloomFilter] = None,
+        build_local_blooms: bool = False,
+        bloom_seed: int = 11,
+    ) -> DistributedScanResult:
+        """Scan the query's HDFS table on every worker.
+
+        ``db_bloom`` is the pushed-down database Bloom filter;
+        ``build_local_blooms`` additionally populates one local filter
+        per worker during the scan (the zigzag join's BF_H build).
+        """
+        return self.scan_with_request(
+            query.hdfs_table,
+            ScanRequest.from_query(query),
+            db_bloom=db_bloom,
+            build_local_blooms=build_local_blooms,
+            bloom_seed=bloom_seed,
+        )
+
+    def scan_with_request(
+        self,
+        table_name: str,
+        request: ScanRequest,
+        db_bloom: Optional[BloomFilter] = None,
+        build_local_blooms: bool = False,
+        bloom_seed: int = 11,
+    ) -> DistributedScanResult:
+        """Query-independent distributed scan (the read_hdfs path)."""
+        meta = self.coordinator.table_meta(table_name)
+        assignment = self.coordinator.plan_scan(table_name)
+        local_blooms: Optional[List[BloomFilter]] = None
+        if build_local_blooms:
+            local_blooms = [
+                BloomFilter(
+                    self.config.bloom_bits(),
+                    self.config.bloom.num_hashes,
+                    seed=bloom_seed,
+                )
+                for _ in self.workers
+            ]
+        wire_tables: List[Table] = []
+        merged = ScanStats()
+        for position, worker in enumerate(self.workers):
+            wire, stats = worker.scan_filter_project(
+                meta,
+                assignment.blocks_for(worker.worker_id),
+                request,
+                db_bloom=db_bloom,
+                local_bloom=(
+                    local_blooms[position] if local_blooms else None
+                ),
+            )
+            wire_tables.append(wire)
+            merged = merged.merge(stats)
+        return DistributedScanResult(
+            wire_tables=wire_tables,
+            stats=merged,
+            local_blooms=local_blooms,
+        )
+
+    # ------------------------------------------------------------------
+    def shuffle_by_key(self, wire_tables: List[Table],
+                       key: str) -> ShuffleResult:
+        """All-to-all shuffle of the wire tables on the agreed hash."""
+        outgoing = [
+            JenWorker.partition_for_shuffle(wire, key, self.num_workers)
+            for wire in wire_tables
+        ]
+        return shuffle(outgoing)
+
+    # ------------------------------------------------------------------
+    def join_and_aggregate(
+        self,
+        l_parts: List[Table],
+        t_parts: List[Table],
+        query: HybridQuery,
+        memory_budget_rows: float = 0.0,
+    ) -> Tuple[Table, LocalJoinStats]:
+        """Local hash joins on every worker, then the final aggregate.
+
+        ``l_parts[i]`` is worker *i*'s build side (filtered HDFS rows it
+        received), ``t_parts[i]`` its probe side (database rows that
+        arrived addressed by the agreed hash).
+
+        ``memory_budget_rows`` is the per-worker in-memory build limit at
+        the data-plane scale; workers whose build side exceeds it spill
+        via Grace-hash fragmenting (:mod:`repro.jen.spill`).  Zero means
+        unlimited — the paper's current JEN, which "requires that all
+        data fit in memory".
+        """
+        if len(l_parts) != self.num_workers or len(t_parts) != self.num_workers:
+            raise JoinError(
+                "join_and_aggregate needs one part per worker on both sides"
+            )
+        from repro.jen.spill import fragment_tables, plan_spill
+
+        stats = LocalJoinStats()
+        partials: List[Table] = []
+        for l_part, t_part in zip(l_parts, t_parts):
+            plan = plan_spill(
+                l_part.num_rows, t_part.num_rows, memory_budget_rows
+            )
+            stats.spilled_tuples += plan.spilled_tuples()
+            stats.max_fragments = max(stats.max_fragments,
+                                      plan.num_fragments)
+            worker_partials: List[Table] = []
+            for build_frag, probe_frag in fragment_tables(
+                l_part, t_part, query.hdfs_join_key, query.db_join_key,
+                plan.num_fragments,
+            ):
+                joined = local_join(probe_frag, build_frag, query)
+                stats.join_output_tuples += joined.num_rows
+                worker_partials.append(
+                    local_partial_aggregate(joined, query)
+                )
+            stats.build_tuples += l_part.num_rows
+            stats.probe_tuples += t_part.num_rows
+            partials.append(final_aggregate(worker_partials, query))
+        result = final_aggregate(partials, query)
+        stats.result_rows = result.num_rows
+        return result, stats

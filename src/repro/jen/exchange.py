@@ -1,0 +1,73 @@
+"""Worker-to-worker exchange: shuffles, Bloom merges, final aggregation.
+
+Three kinds of transfers happen among JEN workers (paper Section 4.3):
+the all-to-all shuffle of filtered HDFS rows for repartition-based
+joins, the aggregation of local Bloom filters at a designated worker,
+and the merge of partial aggregates at a designated worker.  The
+functions here perform the data movement and report its volume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.bloom import BloomFilter
+from repro.errors import JoinError
+from repro.relational.table import Table
+from repro.query.plan import merge_partials, partial_tables_nonempty
+from repro.query.query import HybridQuery
+
+
+@dataclass
+class ShuffleResult:
+    """Regrouped tables plus movement accounting."""
+
+    #: Destination worker -> concatenated rows it received.
+    per_destination: List[Table]
+    #: All tuples that entered the shuffle (the paper's Table 1 counts
+    #: every shuffled tuple, including those staying on their sender).
+    tuples_shuffled: int
+    #: Tuples that actually crossed the network (sender != receiver).
+    tuples_remote: int
+
+
+def shuffle(outgoing: Sequence[Sequence[Table]]) -> ShuffleResult:
+    """Execute an all-to-all shuffle.
+
+    ``outgoing[sender][destination]`` holds the rows sender routed to
+    destination via the agreed hash.  Every sender must address the same
+    number of destinations.
+    """
+    if not outgoing:
+        raise JoinError("shuffle needs at least one sender")
+    num_destinations = len(outgoing[0])
+    for sender_parts in outgoing:
+        if len(sender_parts) != num_destinations:
+            raise JoinError("ragged shuffle matrix")
+
+    per_destination: List[Table] = []
+    tuples_shuffled = 0
+    tuples_remote = 0
+    for destination in range(num_destinations):
+        incoming = [sender_parts[destination] for sender_parts in outgoing]
+        for sender, part in enumerate(incoming):
+            tuples_shuffled += part.num_rows
+            if sender != destination:
+                tuples_remote += part.num_rows
+        per_destination.append(Table.concat(list(incoming)))
+    return ShuffleResult(
+        per_destination=per_destination,
+        tuples_shuffled=tuples_shuffled,
+        tuples_remote=tuples_remote,
+    )
+
+
+def combine_blooms(local_filters: Sequence[BloomFilter]) -> BloomFilter:
+    """Merge per-worker Bloom filters at the designated worker."""
+    return BloomFilter.combine(list(local_filters))
+
+
+def final_aggregate(partials: Sequence[Table], query: HybridQuery) -> Table:
+    """Merge per-worker partial aggregates at the designated worker."""
+    return merge_partials(partial_tables_nonempty(list(partials)), query)

@@ -1,0 +1,181 @@
+"""Equi-depth histograms: catalog statistics for selectivity estimation.
+
+A real EDW optimizer reads selectivities from catalog statistics rather
+than sampling at plan time.  This module provides that substrate: an
+equi-depth histogram per column plus a per-table bundle able to estimate
+the selectivity of the conjunctive predicate class the paper pushes down
+(``col <op> literal`` conjuncts, under the usual attribute-independence
+assumption).
+
+Used by tests to validate the advisor's inputs, and available to
+applications that want plan-time estimation without touching the data.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.relational.expressions import (
+    ColumnPredicate,
+    CompareOp,
+    Conjunction,
+    Predicate,
+    TruePredicate,
+)
+from repro.relational.table import Table
+
+#: Default number of equi-depth buckets.
+DEFAULT_BUCKETS = 64
+
+
+@dataclass(frozen=True)
+class HistogramBucket:
+    """One equi-depth bucket: values in ``[low, high]``."""
+
+    low: float
+    high: float
+    count: int
+    distinct: int
+
+
+class EquiDepthHistogram:
+    """Equi-depth histogram over one numeric column."""
+
+    def __init__(self, values: np.ndarray,
+                 num_buckets: int = DEFAULT_BUCKETS):
+        values = np.asarray(values)
+        if values.size == 0:
+            raise ReproError("cannot build a histogram over zero values")
+        if num_buckets <= 0:
+            raise ReproError("num_buckets must be positive")
+        ordered = np.sort(values.astype(np.float64))
+        self.total = len(ordered)
+        self.min_value = float(ordered[0])
+        self.max_value = float(ordered[-1])
+        boundaries = np.linspace(0, self.total, num_buckets + 1)
+        boundaries = boundaries.astype(np.int64)
+        self.buckets: List[HistogramBucket] = []
+        for index in range(num_buckets):
+            start, stop = int(boundaries[index]), int(boundaries[index + 1])
+            if stop <= start:
+                continue
+            chunk = ordered[start:stop]
+            self.buckets.append(HistogramBucket(
+                low=float(chunk[0]),
+                high=float(chunk[-1]),
+                count=len(chunk),
+                distinct=int(len(np.unique(chunk))),
+            ))
+        self._highs = [bucket.high for bucket in self.buckets]
+
+    # ------------------------------------------------------------------
+    def estimate_le(self, literal: float) -> float:
+        """Estimated fraction of values ``<= literal``."""
+        if literal < self.min_value:
+            return 0.0
+        if literal >= self.max_value:
+            return 1.0
+        covered = 0.0
+        index = bisect.bisect_left(self._highs, literal)
+        for bucket in self.buckets[:index]:
+            covered += bucket.count
+        if index < len(self.buckets):
+            bucket = self.buckets[index]
+            width = max(bucket.high - bucket.low, 1e-12)
+            within = (literal - bucket.low) / width
+            covered += bucket.count * min(max(within, 0.0), 1.0)
+        return covered / self.total
+
+    def estimate_eq(self, literal: float) -> float:
+        """Estimated fraction of values ``== literal``."""
+        if literal < self.min_value or literal > self.max_value:
+            return 0.0
+        index = min(bisect.bisect_left(self._highs, literal),
+                    len(self.buckets) - 1)
+        bucket = self.buckets[index]
+        return bucket.count / max(bucket.distinct, 1) / self.total
+
+    def estimate(self, op: CompareOp, literal: float) -> float:
+        """Estimated selectivity of ``column <op> literal``."""
+        if op is CompareOp.LE:
+            return self.estimate_le(literal)
+        if op is CompareOp.LT:
+            return max(0.0, self.estimate_le(literal)
+                       - self.estimate_eq(literal))
+        if op is CompareOp.GE:
+            return 1.0 - self.estimate(CompareOp.LT, literal)
+        if op is CompareOp.GT:
+            return 1.0 - self.estimate_le(literal)
+        if op is CompareOp.EQ:
+            return self.estimate_eq(literal)
+        if op is CompareOp.NE:
+            return 1.0 - self.estimate_eq(literal)
+        raise ReproError(f"unsupported operator {op}")
+
+
+class TableStatistics:
+    """Histograms over the analysable columns of one table."""
+
+    def __init__(self, num_rows: int,
+                 histograms: Dict[str, EquiDepthHistogram]):
+        self.num_rows = num_rows
+        self.histograms = histograms
+
+    @classmethod
+    def analyze(cls, table: Table,
+                columns: Optional[Sequence[str]] = None,
+                num_buckets: int = DEFAULT_BUCKETS,
+                sample_rows: int = 100_000) -> "TableStatistics":
+        """Build statistics from a table (sampling large ones).
+
+        Dictionary-encoded string columns are skipped: the predicate
+        class the paper pushes down compares numeric columns.
+        """
+        from repro.relational.schema import DataType
+
+        if columns is None:
+            columns = [
+                column.name for column in table.schema
+                if column.dtype is not DataType.DICT_STRING
+            ]
+        sample = table if table.num_rows <= sample_rows else \
+            table.slice(0, sample_rows)
+        histograms = {}
+        for name in columns:
+            values = sample.column(name)
+            if values.size:
+                histograms[name] = EquiDepthHistogram(
+                    values, num_buckets=num_buckets
+                )
+        return cls(num_rows=table.num_rows, histograms=histograms)
+
+    # ------------------------------------------------------------------
+    def estimate_predicate(self, predicate: Predicate) -> float:
+        """Selectivity estimate under attribute independence.
+
+        Conjuncts over columns without histograms contribute a neutral
+        factor of 1.0 (the safe overestimate for data movement).
+        """
+        if isinstance(predicate, TruePredicate):
+            return 1.0
+        if isinstance(predicate, Conjunction):
+            selectivity = 1.0
+            for child in predicate.children:
+                selectivity *= self.estimate_predicate(child)
+            return selectivity
+        if isinstance(predicate, ColumnPredicate):
+            histogram = self.histograms.get(predicate.column)
+            if histogram is None:
+                return 1.0
+            return histogram.estimate(predicate.op,
+                                      float(predicate.literal))
+        return 1.0
+
+    def estimate_rows(self, predicate: Predicate) -> float:
+        """Estimated surviving row count."""
+        return self.num_rows * self.estimate_predicate(predicate)

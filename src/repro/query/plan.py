@@ -1,0 +1,94 @@
+"""Local plan steps shared by every engine.
+
+Whatever the distributed strategy, each worker ultimately performs the
+same local pipeline on its slice of data:
+
+1. join its T-side rows with its L-side rows (prefixing columns);
+2. apply the post-join predicate;
+3. compute partial group-by aggregates.
+
+One designated worker then merges the partials.  Keeping these steps in
+one module guarantees the five algorithms and the single-node reference
+executor cannot drift apart semantically — the property tests rely on
+exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.relational.aggregates import (
+    AggregateSpec,
+    group_by_aggregate,
+    merge_partial_aggregates,
+)
+from repro.relational.operators import join_tables
+from repro.relational.table import Table
+from repro.query.query import HybridQuery
+
+
+def apply_derivations(l_table: Table, query: HybridQuery) -> Table:
+    """Compute the scan-time derived columns on a (filtered) L table."""
+    for derived in query.hdfs_derived:
+        l_table = derived.apply(l_table)
+    return l_table
+
+
+def local_join(t_part: Table, l_part: Table, query: HybridQuery) -> Table:
+    """Join one worker's T-side rows with its L-side rows.
+
+    The L side is the hash-table (build) side, as in JEN: the filtered
+    HDFS data is already streaming in while the database data arrives
+    later, so JEN builds on L'' and probes with the database rows
+    (paper Section 4.4).  Output columns carry the query's prefixes.
+    """
+    return join_tables(
+        build=l_part,
+        probe=t_part,
+        build_key=query.hdfs_join_key,
+        probe_key=query.db_join_key,
+        build_prefix=query.hdfs_prefix,
+        probe_prefix=query.db_prefix,
+    )
+
+
+def local_partial_aggregate(joined: Table, query: HybridQuery) -> Table:
+    """Post-join predicate plus partial group-by on one worker."""
+    if query.post_join_predicate is not None:
+        joined = joined.filter(query.post_join_predicate.evaluate(joined))
+    return group_by_aggregate(joined, list(query.group_by),
+                              list(query.aggregates))
+
+
+def merge_partials(partials: Sequence[Table], query: HybridQuery) -> Table:
+    """Merge per-worker partial aggregates into the final result."""
+    return merge_partial_aggregates(
+        list(partials), list(query.group_by), list(query.aggregates)
+    )
+
+
+def empty_partial(query: HybridQuery, t_schema, l_schema) -> Table:
+    """A zero-row partial aggregate with the right schema.
+
+    Needed when a worker ends up with no rows at all (tiny tables, many
+    workers) so the final merge still sees a well-formed input.
+    """
+    t_empty = Table.empty(t_schema)
+    l_empty = Table.empty(l_schema)
+    joined = local_join(t_empty, l_empty, query)
+    return local_partial_aggregate(joined, query)
+
+
+def aggregate_row_width(query: HybridQuery, joined_schema) -> int:
+    """Logical bytes of one partial-aggregate row (for transfer costing)."""
+    group_width = joined_schema.row_width(list(query.group_by))
+    agg_width = sum(
+        spec.output_dtype().default_width() for spec in query.aggregates
+    )
+    return group_width + agg_width
+
+
+def partial_tables_nonempty(partials: List[Table]) -> List[Table]:
+    """Drop empty partials but keep at least one for schema."""
+    non_empty = [table for table in partials if table.num_rows]
+    return non_empty if non_empty else partials[:1]

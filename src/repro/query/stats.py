@@ -1,0 +1,102 @@
+"""Selectivity measurement: the paper's σ and S quantities.
+
+The paper parameterises every experiment by four numbers:
+
+* ``sigma_t`` — tuple selectivity of the local predicates on T;
+* ``sigma_l`` — tuple selectivity of the local predicates on L;
+* ``s_t`` (written S_T′) — the fraction of *distinct join keys* of the
+  filtered T that also occur in the filtered L;
+* ``s_l`` (S_L′) — symmetric, for the filtered L.
+
+This module measures all four from actual tables; the workload
+generator's property tests check the measured values hit the requested
+specification, and the advisor consumes the same report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.relational.expressions import Predicate
+from repro.relational.table import Table
+from repro.query.query import HybridQuery
+
+
+@dataclass(frozen=True)
+class SelectivityReport:
+    """Measured selectivities of one (T, L, query) triple."""
+
+    t_rows: int
+    l_rows: int
+    t_filtered_rows: int
+    l_filtered_rows: int
+    t_distinct_keys: int
+    l_distinct_keys: int
+    common_keys: int
+
+    @property
+    def sigma_t(self) -> float:
+        """Tuple selectivity of the T local predicates."""
+        return self.t_filtered_rows / self.t_rows if self.t_rows else 0.0
+
+    @property
+    def sigma_l(self) -> float:
+        """Tuple selectivity of the L local predicates."""
+        return self.l_filtered_rows / self.l_rows if self.l_rows else 0.0
+
+    @property
+    def s_t(self) -> float:
+        """Join-key selectivity on the filtered T (the paper's S_T′)."""
+        return (
+            self.common_keys / self.t_distinct_keys
+            if self.t_distinct_keys else 0.0
+        )
+
+    @property
+    def s_l(self) -> float:
+        """Join-key selectivity on the filtered L (the paper's S_L′)."""
+        return (
+            self.common_keys / self.l_distinct_keys
+            if self.l_distinct_keys else 0.0
+        )
+
+    def describe(self) -> str:
+        """One-line summary in the paper's notation."""
+        return (
+            f"sigma_T={self.sigma_t:.4f} sigma_L={self.sigma_l:.4f} "
+            f"S_T'={self.s_t:.4f} S_L'={self.s_l:.4f} "
+            f"(|JK(T')|={self.t_distinct_keys}, "
+            f"|JK(L')|={self.l_distinct_keys}, "
+            f"overlap={self.common_keys})"
+        )
+
+
+def measure_selectivities(
+    t_table: Table,
+    l_table: Table,
+    query: HybridQuery,
+) -> SelectivityReport:
+    """Measure σ_T, σ_L, S_T′ and S_L′ for a query over real tables."""
+    t_mask = query.db_predicate.evaluate(t_table)
+    l_mask = query.hdfs_predicate.evaluate(l_table)
+    t_keys = np.unique(t_table.column(query.db_join_key)[t_mask])
+    l_keys = np.unique(l_table.column(query.hdfs_join_key)[l_mask])
+    common = np.intersect1d(t_keys, l_keys, assume_unique=True)
+    return SelectivityReport(
+        t_rows=t_table.num_rows,
+        l_rows=l_table.num_rows,
+        t_filtered_rows=int(t_mask.sum()),
+        l_filtered_rows=int(l_mask.sum()),
+        t_distinct_keys=len(t_keys),
+        l_distinct_keys=len(l_keys),
+        common_keys=len(common),
+    )
+
+
+def predicate_selectivity(table: Table, predicate: Predicate) -> float:
+    """Fraction of rows of ``table`` satisfying ``predicate``."""
+    if table.num_rows == 0:
+        return 0.0
+    return float(predicate.evaluate(table).mean())

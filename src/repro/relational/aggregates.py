@@ -1,0 +1,189 @@
+"""Hash-based group-by aggregation.
+
+The paper's query template always ends with ``GROUP BY ... COUNT(*)``;
+JEN computes *partial* aggregates per worker during the join probe and a
+single designated worker merges them (Section 3 / 4.4).  The functions
+here support both steps: :func:`group_by_aggregate` for the local pass
+and :func:`merge_partial_aggregates` for the final combine, with the
+usual re-aggregation rules (COUNT merges by SUM, AVG merges via SUM and
+COUNT, and so on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ExpressionError, TableError
+from repro.relational.schema import Column, DataType, Schema
+from repro.relational.table import Table
+
+#: Aggregate function names supported by :class:`AggregateSpec`.
+SUPPORTED_FUNCTIONS = ("count", "sum", "min", "max", "avg")
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregate in a group-by: ``function(column) AS alias``.
+
+    ``column`` is ignored for ``count`` (COUNT(*) semantics).
+    """
+
+    function: str
+    column: Optional[str] = None
+    alias: Optional[str] = None
+
+    def __post_init__(self):
+        if self.function not in SUPPORTED_FUNCTIONS:
+            raise ExpressionError(
+                f"unsupported aggregate {self.function!r}; "
+                f"expected one of {SUPPORTED_FUNCTIONS}"
+            )
+        if self.function != "count" and self.column is None:
+            raise ExpressionError(
+                f"aggregate {self.function!r} requires a column"
+            )
+
+    def output_name(self) -> str:
+        """Column name of this aggregate in the result table."""
+        if self.alias:
+            return self.alias
+        if self.function == "count":
+            return "count"
+        return f"{self.function}_{self.column}"
+
+    def output_dtype(self) -> DataType:
+        """Result type: counts/sums are int64, averages float64."""
+        if self.function in ("count", "sum"):
+            return DataType.INT64
+        if self.function == "avg":
+            return DataType.FLOAT64
+        return DataType.INT64
+
+
+def group_by_aggregate(
+    table: Table, group_columns: Sequence[str], aggregates: Sequence[AggregateSpec]
+) -> Table:
+    """Group ``table`` by ``group_columns`` and compute ``aggregates``.
+
+    Result rows are ordered by ascending group key (deterministic, which
+    keeps distributed merges and the reference executor comparable).
+    """
+    group_columns = list(group_columns)
+    if not group_columns:
+        raise TableError("group_by_aggregate requires at least one group column")
+    for spec in aggregates:
+        if spec.column is not None:
+            table.schema.column(spec.column)
+
+    if table.num_rows == 0:
+        group_ids = np.empty(0, dtype=np.int64)
+        representative_idx = np.empty(0, dtype=np.int64)
+    else:
+        group_ids, representative_idx = _group_ids(table, group_columns)
+    num_groups = len(representative_idx)
+
+    out_columns: Dict[str, np.ndarray] = {}
+    dictionaries: Dict[str, np.ndarray] = {}
+    schema_columns: List[Column] = []
+    for name in group_columns:
+        column = table.schema.column(name)
+        schema_columns.append(column)
+        out_columns[name] = table.column(name)[representative_idx]
+        if column.dtype is DataType.DICT_STRING:
+            dictionaries[name] = table.dictionary(name)
+
+    for spec in aggregates:
+        values = _compute_aggregate(table, spec, group_ids, num_groups)
+        out_name = spec.output_name()
+        if out_name in out_columns:
+            raise TableError(f"duplicate aggregate output name {out_name!r}")
+        schema_columns.append(Column(out_name, spec.output_dtype()))
+        out_columns[out_name] = values
+
+    return Table(Schema(schema_columns), out_columns, dictionaries)
+
+
+def merge_partial_aggregates(
+    partials: Sequence[Table],
+    group_columns: Sequence[str],
+    aggregates: Sequence[AggregateSpec],
+) -> Table:
+    """Combine per-worker partial aggregates into the final result.
+
+    Applies the standard merge rules: partial COUNT columns are summed,
+    partial SUM summed, MIN/MAX re-minimised/maximised.  AVG must have
+    been decomposed by the caller (the query layer plans AVG as SUM+COUNT
+    and divides at the very end), so it is rejected here.
+    """
+    for spec in aggregates:
+        if spec.function == "avg":
+            raise ExpressionError(
+                "avg cannot be merged directly; decompose into sum and count"
+            )
+    non_empty = [t for t in partials if t.num_rows] or list(partials[:1])
+    combined = Table.concat(non_empty)
+    merge_specs = [
+        AggregateSpec(
+            _merge_function(spec.function),
+            column=spec.output_name(),
+            alias=spec.output_name(),
+        )
+        for spec in aggregates
+    ]
+    return group_by_aggregate(combined, group_columns, merge_specs)
+
+
+def _merge_function(function: str) -> str:
+    """The re-aggregation function for merging partials of ``function``."""
+    return {"count": "sum", "sum": "sum", "min": "min", "max": "max"}[function]
+
+
+def _group_ids(
+    table: Table, group_columns: Sequence[str]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Dense group ids per row plus one representative row per group."""
+    if len(group_columns) == 1:
+        keys = table.column(group_columns[0])
+        _, representative_idx, group_ids = np.unique(
+            keys, return_index=True, return_inverse=True
+        )
+        return group_ids.ravel(), representative_idx
+    arrays = [table.column(name) for name in group_columns]
+    stacked = np.rec.fromarrays(arrays)
+    _, representative_idx, group_ids = np.unique(
+        stacked, return_index=True, return_inverse=True
+    )
+    return group_ids.ravel(), representative_idx
+
+
+def _compute_aggregate(
+    table: Table, spec: AggregateSpec, group_ids: np.ndarray, num_groups: int
+) -> np.ndarray:
+    if num_groups == 0:
+        dtype = spec.output_dtype().numpy_dtype()
+        return np.empty(0, dtype=dtype)
+    if spec.function == "count":
+        return np.bincount(group_ids, minlength=num_groups).astype(np.int64)
+
+    values = table.column(spec.column)
+    if spec.function == "sum":
+        return np.bincount(
+            group_ids, weights=values.astype(np.float64), minlength=num_groups
+        ).astype(np.int64)
+    if spec.function == "avg":
+        sums = np.bincount(
+            group_ids, weights=values.astype(np.float64), minlength=num_groups
+        )
+        counts = np.bincount(group_ids, minlength=num_groups)
+        return sums / np.maximum(counts, 1)
+    # min/max: sort rows by group, reduce contiguous runs.
+    order = np.argsort(group_ids, kind="stable")
+    sorted_ids = group_ids[order]
+    sorted_values = values[order]
+    boundaries = np.flatnonzero(np.diff(sorted_ids)) + 1
+    starts = np.concatenate(([0], boundaries))
+    reducer = np.minimum if spec.function == "min" else np.maximum
+    return reducer.reduceat(sorted_values, starts).astype(np.int64)

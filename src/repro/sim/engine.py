@@ -1,0 +1,239 @@
+"""A small discrete-event simulation kernel.
+
+The kernel is deliberately simpy-like: *processes* are Python generators
+that yield the things they wait on — :class:`Timeout` for simulated time,
+:class:`Event` for synchronisation, :class:`AllOf` for barriers, or a
+:class:`Request` obtained from a :class:`Resource` for capacity.  The
+engine drives everything from a single event heap, so simulated time is
+deterministic and completely decoupled from wall-clock time.
+
+This is the substrate the trace replayer (:mod:`repro.sim.replay`) builds
+on; it is also used directly by tests and by the pipelining ablation
+benchmark, which is why it is a general kernel rather than something
+specialised to join traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Deque, Generator, List, Optional, Tuple
+
+from collections import deque
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A one-shot synchronisation point carrying an optional value."""
+
+    def __init__(self, engine: "SimEngine", name: str = ""):
+        self._engine = engine
+        self.name = name
+        self._callbacks: List[Callable[["Event"], None]] = []
+        self.triggered = False
+        self.value = None
+
+    def succeed(self, value=None) -> "Event":
+        """Trigger the event now; waiting processes resume immediately."""
+        if self.triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self.triggered = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            self._engine._schedule(self._engine.now, callback, self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when triggered (immediately if already)."""
+        if self.triggered:
+            self._engine._schedule(self._engine.now, callback, self)
+        else:
+            self._callbacks.append(callback)
+
+
+class Timeout:
+    """Yielded by a process to advance simulated time by ``delay``."""
+
+    def __init__(self, delay: float):
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        self.delay = float(delay)
+
+
+class AllOf:
+    """Yielded by a process to wait until every event has triggered."""
+
+    def __init__(self, events: List[Event]):
+        self.events = list(events)
+
+
+class Request:
+    """A pending acquisition of :class:`Resource` capacity.
+
+    Yield it from a process to block until granted; call
+    :meth:`Resource.release` when done.
+    """
+
+    def __init__(self, resource: "Resource", amount: float):
+        self.resource = resource
+        self.amount = float(amount)
+        self.event = Event(resource._engine, name="resource-grant")
+
+
+class Resource:
+    """Counted capacity with FIFO granting (disks, NICs, worker slots)."""
+
+    def __init__(self, engine: "SimEngine", capacity: float, name: str = ""):
+        if capacity <= 0:
+            raise SimulationError("resource capacity must be positive")
+        self._engine = engine
+        self.capacity = float(capacity)
+        self.name = name
+        self.in_use = 0.0
+        self._waiting: Deque[Request] = deque()
+
+    def request(self, amount: float = 1.0) -> Request:
+        """Ask for ``amount`` of capacity; yield the request to wait."""
+        if amount > self.capacity:
+            raise SimulationError(
+                f"request {amount} exceeds capacity {self.capacity} "
+                f"of resource {self.name!r}"
+            )
+        request = Request(self, amount)
+        self._waiting.append(request)
+        self._grant()
+        return request
+
+    def release(self, request: Request) -> None:
+        """Return previously granted capacity."""
+        self.in_use -= request.amount
+        if self.in_use < -1e-9:
+            raise SimulationError(f"resource {self.name!r} over-released")
+        self._grant()
+
+    def _grant(self) -> None:
+        while self._waiting:
+            head = self._waiting[0]
+            if self.in_use + head.amount > self.capacity + 1e-12:
+                break
+            self._waiting.popleft()
+            self.in_use += head.amount
+            head.event.succeed(head)
+
+
+class _Process:
+    """Drives one generator, resuming it as its awaited things complete."""
+
+    def __init__(self, engine: "SimEngine",
+                 generator: Generator, name: str = ""):
+        self.engine = engine
+        self.generator = generator
+        self.name = name
+        self.done = Event(engine, name=f"{name}-done")
+
+    def _start(self) -> None:
+        self._step(None)
+
+    def _step(self, value) -> None:
+        try:
+            yielded = self.generator.send(value)
+        except StopIteration as stop:
+            self.done.succeed(getattr(stop, "value", None))
+            return
+        self._wait_on(yielded)
+
+    def _wait_on(self, yielded) -> None:
+        if isinstance(yielded, Timeout):
+            self.engine._schedule(
+                self.engine.now + yielded.delay, self._step, None
+            )
+        elif isinstance(yielded, Event):
+            yielded.add_callback(lambda event: self._step(event.value))
+        elif isinstance(yielded, Request):
+            yielded.event.add_callback(lambda event: self._step(yielded))
+        elif isinstance(yielded, AllOf):
+            self._wait_all(yielded.events)
+        elif isinstance(yielded, _Process):
+            yielded.done.add_callback(lambda event: self._step(event.value))
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported {yielded!r}"
+            )
+
+    def _wait_all(self, events: List[Event]) -> None:
+        pending = [event for event in events if not event.triggered]
+        if not pending:
+            self.engine._schedule(self.engine.now, self._step, None)
+            return
+        remaining = {"count": len(pending)}
+
+        def on_trigger(_event: Event) -> None:
+            remaining["count"] -= 1
+            if remaining["count"] == 0:
+                self._step(None)
+
+        for event in pending:
+            event.add_callback(on_trigger)
+
+
+class SimEngine:
+    """The event loop: a heap of (time, sequence, callback) entries."""
+
+    def __init__(self):
+        self.now = 0.0
+        self._heap: List[Tuple[float, int, Callable, object]] = []
+        self._sequence = itertools.count()
+        self._active_processes = 0
+
+    def event(self, name: str = "") -> Event:
+        """Create an untriggered event bound to this engine."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float) -> Timeout:
+        """Convenience constructor for :class:`Timeout`."""
+        return Timeout(delay)
+
+    def resource(self, capacity: float, name: str = "") -> Resource:
+        """Create a FIFO capacity resource bound to this engine."""
+        return Resource(self, capacity, name=name)
+
+    def process(self, generator: Generator, name: str = "") -> _Process:
+        """Register a generator as a process; it starts at the current time."""
+        process = _Process(self, generator, name=name)
+        self._active_processes += 1
+
+        def finish(_event: Event) -> None:
+            self._active_processes -= 1
+
+        process.done.add_callback(finish)
+        self._schedule(self.now, lambda _value: process._start(), None)
+        return process
+
+    def _schedule(self, when: float, callback: Callable, value) -> None:
+        heapq.heappush(self._heap, (when, next(self._sequence), callback, value))
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the heap drains (or simulated ``until``); return now.
+
+        Raises :class:`SimulationError` if processes remain blocked with no
+        scheduled events — a deadlock, typically a dependency cycle in the
+        replayed trace.
+        """
+        while self._heap:
+            when, _seq, callback, value = heapq.heappop(self._heap)
+            if until is not None and when > until:
+                heapq.heappush(self._heap, (when, _seq, callback, value))
+                self.now = until
+                return self.now
+            if when < self.now - 1e-12:
+                raise SimulationError("event scheduled in the past")
+            self.now = when
+            callback(value)
+        if self._active_processes > 0 and until is None:
+            raise SimulationError(
+                f"deadlock: {self._active_processes} process(es) still "
+                "waiting with no scheduled events"
+            )
+        return self.now

@@ -1,0 +1,300 @@
+"""The SQL session: parse, translate, choose an algorithm, execute.
+
+Mirrors the paper's user experience — the query is submitted "at the
+parallel database side" as one SQL statement, everything else happens
+behind the scenes.  With ``algorithm="auto"`` the session samples the
+loaded tables to estimate selectivities and lets the advisor pick the
+join strategy, otherwise any registered algorithm name works.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.advisor import JoinAdvisor, WorkloadEstimate
+from repro.core.joins import JoinResult, algorithm_by_name
+from repro.query.query import HybridQuery
+from repro.relational.schema import Column, DataType
+from repro.relational.table import Table
+from repro.sql.lexer import SqlError
+from repro.sql.parser import parse_select
+from repro.sql.translator import Translation, translate
+
+#: Rows sampled from each side for selectivity estimation in auto mode.
+SAMPLE_ROWS = 20_000
+
+
+@dataclass
+class SqlResult:
+    """Outcome of one SQL execution."""
+
+    table: Table
+    join_result: JoinResult
+    query: HybridQuery
+    algorithm: str
+    advisor_rationale: str = ""
+
+    @property
+    def simulated_seconds(self) -> float:
+        """Paper-scale execution time of the chosen algorithm."""
+        return self.join_result.total_seconds
+
+    def rows(self) -> List[tuple]:
+        """Result rows as Python tuples."""
+        return self.table.to_rows()
+
+
+class SqlSession:
+    """Executes SQL statements against one hybrid warehouse."""
+
+    def __init__(self, warehouse):
+        self.warehouse = warehouse
+        self.advisor = JoinAdvisor(warehouse.config)
+
+    # ------------------------------------------------------------------
+    def explain(self, sql: str) -> Translation:
+        """Parse and translate without executing."""
+        return translate(parse_select(sql), self.warehouse)
+
+    def explain_text(self, sql: str) -> str:
+        """A human-readable plan, in the spirit of a database EXPLAIN."""
+        translation = self.explain(sql)
+        query = translation.query
+        lines = ["HYBRID QUERY PLAN", "================="]
+        if translation.needs_prejoin():
+            lines.append("in-database pre-joins (star schema):")
+            current = translation.fact_table
+            lines.append(
+                f"  fact {current}: predicate on "
+                f"{list(translation.fact_predicate.columns()) or 'none'}, "
+                f"project {list(translation.fact_projection)}"
+            )
+            for step in translation.prejoins:
+                lines.append(
+                    f"  join {current} -> {step.right_table} on "
+                    f"{step.left_key} = {step.right_key}, project "
+                    f"{list(step.right_projection)}"
+                )
+                current = f"({current} x {step.right_table})"
+            lines.append("")
+        db_label = (translation.fact_table or query.db_table)
+        lines.append(f"database side:  {db_label}")
+        lines.append(
+            f"  predicate columns: "
+            f"{list(query.db_predicate.columns()) or '(none)'}"
+        )
+        lines.append(f"  ships: {list(query.db_projection)}")
+        lines.append(f"HDFS side:      {query.hdfs_table}")
+        lines.append(
+            f"  predicate columns: "
+            f"{list(query.hdfs_predicate.columns()) or '(none)'}"
+        )
+        if query.hdfs_derived:
+            lines.append(
+                "  scan-time UDFs: "
+                + ", ".join(
+                    f"{d.udf_name}({d.source}) -> {d.name}"
+                    for d in query.hdfs_derived
+                )
+            )
+        lines.append(f"  ships: {list(query.hdfs_wire_columns())}")
+        lines.append(
+            f"equi-join:      {query.db_join_key} = {query.hdfs_join_key}"
+        )
+        if query.post_join_predicate is not None:
+            lines.append(
+                "post-join:      over "
+                f"{list(query.post_join_predicate.columns())}"
+            )
+        lines.append(f"group by:       {list(query.group_by)}")
+        lines.append(
+            "aggregates:     "
+            + ", ".join(spec.output_name() for spec in query.aggregates)
+        )
+        if translation.ordering:
+            rendered = ", ".join(
+                f"{name} {'DESC' if desc else 'ASC'}"
+                for name, desc in translation.ordering
+            )
+            lines.append(f"order by:       {rendered}")
+        if translation.limit is not None:
+            lines.append(f"limit:          {translation.limit}")
+        return "\n".join(lines)
+
+    def execute(self, sql: str, algorithm: str = "auto") -> SqlResult:
+        """Run ``sql`` end to end with the given (or advised) algorithm.
+
+        Star-schema statements first run their dimension joins inside
+        the database (the paper's Section 2 position on multi-table
+        queries), then the hybrid join operates on the derived fact.
+        """
+        translation = self.explain(sql)
+        query = translation.query
+        if translation.needs_prejoin():
+            derived_name = self._run_prejoins(translation)
+            from dataclasses import replace
+
+            query = replace(query, db_table=derived_name)
+        rationale = ""
+        if algorithm == "auto":
+            algorithm, rationale = self._advise(query)
+        join_result = algorithm_by_name(algorithm).run(
+            self.warehouse, query
+        )
+        table = self._present(join_result.result, translation)
+        return SqlResult(
+            table=table,
+            join_result=join_result,
+            query=query,
+            algorithm=algorithm,
+            advisor_rationale=rationale,
+        )
+
+    def _run_prejoins(self, translation) -> str:
+        """Execute the in-database dimension-join chain; returns the
+        derived fact table's name."""
+        database = self.warehouse.database
+        current = translation.fact_table
+        for index, step in enumerate(translation.prejoins):
+            result_name = self._fresh_table_name(
+                f"__sql_pre_{translation.fact_table}_{index}"
+            )
+            first = index == 0
+            database.join_local(
+                current,
+                step.right_table,
+                step.left_key,
+                step.right_key,
+                result_name=result_name,
+                left_predicate=(
+                    translation.fact_predicate if first else None
+                ),
+                right_predicate=step.right_predicate,
+                left_projection=(
+                    list(translation.fact_projection) if first else None
+                ),
+                right_projection=list(step.right_projection),
+            )
+            current = result_name
+        return current
+
+    def _fresh_table_name(self, base: str) -> str:
+        """A catalog name not yet in use (repeat executions re-derive)."""
+        candidate = base
+        suffix = 0
+        while True:
+            try:
+                self.warehouse.database.table_meta(candidate)
+            except Exception:
+                return candidate
+            suffix += 1
+            candidate = f"{base}_{suffix}"
+
+    # ------------------------------------------------------------------
+    def _advise(self, query: HybridQuery):
+        estimate = self._estimate(query)
+        decision = self.advisor.decide(estimate)
+        return decision.best, decision.rationale
+
+    def _estimate(self, query: HybridQuery) -> WorkloadEstimate:
+        """Sample-based selectivity estimation for the advisor.
+
+        Samples a slice of each table, applies the local predicates, and
+        measures tuple selectivities and join-key overlap — the
+        statistics a database optimizer would read from its catalog.
+        """
+        db_meta = self.warehouse.database.table_meta(query.db_table)
+        hdfs_meta = self.warehouse.hdfs.table_meta(query.hdfs_table)
+        scale_up = 1.0 / self.warehouse.config.scale
+
+        t_sample = self._db_sample(query.db_table)
+        l_sample = self._hdfs_sample(query.hdfs_table)
+        t_mask = query.db_predicate.evaluate(t_sample)
+        l_mask = query.hdfs_predicate.evaluate(l_sample)
+        sigma_t = max(float(t_mask.mean()), 1e-5)
+        sigma_l = max(float(l_mask.mean()), 1e-5)
+        t_keys = np.unique(t_sample.column(query.db_join_key)[t_mask])
+        l_keys = np.unique(l_sample.column(query.hdfs_join_key)[l_mask])
+        common = len(np.intersect1d(t_keys, l_keys, assume_unique=True))
+        s_t = common / len(t_keys) if len(t_keys) else 1.0
+        s_l = common / len(l_keys) if len(l_keys) else 1.0
+
+        storage_format = hdfs_meta.storage_format()
+        l_scan_bytes = storage_format.scan_bytes_per_row(
+            hdfs_meta.schema, list(query.hdfs_projection)
+        )
+        return WorkloadEstimate(
+            t_rows=db_meta.num_rows * scale_up,
+            l_rows=hdfs_meta.num_rows * scale_up,
+            sigma_t=sigma_t,
+            sigma_l=sigma_l,
+            s_t=max(s_t, 1e-4),
+            s_l=max(s_l, 1e-4),
+            t_wire_bytes=db_meta.schema.row_width(
+                list(query.db_projection)
+            ),
+            l_wire_bytes=hdfs_meta.schema.row_width(
+                list(query.hdfs_projection)
+            ),
+            l_scan_bytes=l_scan_bytes,
+            format_name=hdfs_meta.format_name,
+        )
+
+    def _db_sample(self, name: str) -> Table:
+        partition = self.warehouse.database.workers[0].partition(name)
+        return partition.slice(0, min(SAMPLE_ROWS, partition.num_rows))
+
+    def _hdfs_sample(self, name: str) -> Table:
+        blocks = self.warehouse.hdfs.table_blocks(name)
+        rows = self.warehouse.hdfs.read_block(blocks[0])
+        return rows.slice(0, min(SAMPLE_ROWS, rows.num_rows))
+
+    # ------------------------------------------------------------------
+    def _present(self, result: Table, translation: Translation) -> Table:
+        """Apply AVG decompositions, renames and select-order projection."""
+        if translation.avg_decompositions:
+            for display, (sum_name, count_name) in \
+                    translation.avg_decompositions.items():
+                sums = result.column(sum_name).astype(np.float64)
+                counts = np.maximum(
+                    result.column(count_name).astype(np.float64), 1.0
+                )
+                result = result.with_column(
+                    Column(display, DataType.FLOAT64), sums / counts
+                )
+        renamed = result.rename(translation.renames)
+        missing = [name for name in translation.output_names
+                   if not renamed.schema.has_column(name)]
+        if missing:
+            raise SqlError(
+                f"internal error: result lacks columns {missing}"
+            )
+        projected = renamed.project(translation.output_names)
+        if translation.ordering:
+            projected = _order_rows(projected, translation.ordering)
+        if translation.limit is not None:
+            projected = projected.slice(
+                0, min(translation.limit, projected.num_rows)
+            )
+        return projected
+
+
+def _order_rows(table: Table, ordering) -> Table:
+    """Stable multi-key sort honouring per-key direction."""
+    from repro.relational.schema import DataType
+
+    order = np.arange(table.num_rows)
+    for name, descending in reversed(list(ordering)):
+        column = table.schema.column(name)
+        if column.dtype is DataType.DICT_STRING:
+            values = table.strings(name)[order]
+        else:
+            values = table.column(name)[order]
+        # Rank-based keys give a stable descending sort for any dtype.
+        _, inverse = np.unique(values, return_inverse=True)
+        keys = -inverse if descending else inverse
+        order = order[np.argsort(keys, kind="stable")]
+    return table.take(order)

@@ -1,0 +1,121 @@
+"""Tokenizer for the hybrid-warehouse SQL dialect."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ReproError
+
+
+class SqlError(ReproError):
+    """Lexing, parsing or binding of a SQL statement failed."""
+
+
+class TokenType(enum.Enum):
+    """Token categories."""
+
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    COMMA = ","
+    DOT = "."
+    LPAREN = "("
+    RPAREN = ")"
+    STAR = "*"
+    END = "end"
+
+
+#: Reserved words (matched case-insensitively, stored upper-case).
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "AS", "AND", "OR", "NOT",
+    "COUNT", "SUM", "MIN", "MAX", "AVG", "BETWEEN", "ORDER", "LIMIT",
+    "ASC", "DESC", "IN",
+}
+
+#: Multi-character operators first so "<=" never lexes as "<" then "=".
+OPERATORS = ["<=", ">=", "<>", "!=", "=", "<", ">", "-", "+"]
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexed token with its source position (for error messages)."""
+
+    type: TokenType
+    value: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        """True if this token is the given keyword."""
+        return self.type is TokenType.KEYWORD and self.value == word
+
+
+def tokenize(sql: str) -> List[Token]:
+    """Lex ``sql`` into tokens, ending with an END sentinel."""
+    tokens: List[Token] = []
+    index = 0
+    length = len(sql)
+    while index < length:
+        char = sql[index]
+        if char.isspace():
+            index += 1
+            continue
+        if char == "'":
+            end = sql.find("'", index + 1)
+            if end < 0:
+                raise SqlError(
+                    f"unterminated string literal at position {index}"
+                )
+            tokens.append(Token(TokenType.STRING, sql[index + 1:end], index))
+            index = end + 1
+            continue
+        if char.isdigit():
+            end = index
+            while end < length and (sql[end].isdigit() or sql[end] == "."):
+                end += 1
+            tokens.append(Token(TokenType.NUMBER, sql[index:end], index))
+            index = end
+            continue
+        if char.isalpha() or char == "_":
+            end = index
+            while end < length and (sql[end].isalnum() or sql[end] == "_"):
+                end += 1
+            word = sql[index:end]
+            if word.upper() in KEYWORDS:
+                tokens.append(
+                    Token(TokenType.KEYWORD, word.upper(), index)
+                )
+            else:
+                tokens.append(Token(TokenType.IDENT, word, index))
+            index = end
+            continue
+        matched_operator = None
+        for operator in OPERATORS:
+            if sql.startswith(operator, index):
+                matched_operator = operator
+                break
+        if matched_operator:
+            tokens.append(
+                Token(TokenType.OPERATOR, matched_operator, index)
+            )
+            index += len(matched_operator)
+            continue
+        simple = {
+            ",": TokenType.COMMA,
+            ".": TokenType.DOT,
+            "(": TokenType.LPAREN,
+            ")": TokenType.RPAREN,
+            "*": TokenType.STAR,
+            ";": None,
+        }
+        if char in simple:
+            if simple[char] is not None:
+                tokens.append(Token(simple[char], char, index))
+            index += 1
+            continue
+        raise SqlError(f"unexpected character {char!r} at position {index}")
+    tokens.append(Token(TokenType.END, "", length))
+    return tokens

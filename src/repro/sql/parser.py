@@ -1,0 +1,283 @@
+"""Recursive-descent parser for the hybrid-warehouse SQL dialect.
+
+Grammar (the paper's query class)::
+
+    select      := SELECT item ("," item)*
+                   FROM table ("," table)*
+                   WHERE comparison (AND comparison)*
+                   GROUP BY expr ("," expr)*
+    item        := aggregate [AS ident] | expr [AS ident]
+    aggregate   := COUNT "(" "*" ")" | (SUM|MIN|MAX|AVG) "(" expr ")"
+    table       := ident [ [AS] ident ]
+    comparison  := additive op additive
+    additive    := primary (("-"|"+") primary)*
+    primary     := number | string | ident "(" additive ")"
+                 | ident ["." ident] | "(" additive ")"
+
+OR and NOT are recognised by the lexer but rejected with a clear message:
+the paper's algorithms push down *conjunctive* local predicates, and so
+does this reproduction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.sql.ast import (
+    Aggregate,
+    InList,
+    BinaryOp,
+    ColumnRef,
+    Comparison,
+    FuncCall,
+    Literal,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    TableRef,
+)
+from repro.sql.lexer import SqlError, Token, TokenType, tokenize
+
+AGGREGATE_KEYWORDS = ("COUNT", "SUM", "MIN", "MAX", "AVG")
+COMPARISON_OPERATORS = ("=", "!=", "<>", "<", "<=", ">", ">=")
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.index = 0
+
+    # -- token plumbing -------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def expect_keyword(self, word: str) -> Token:
+        token = self.advance()
+        if not token.is_keyword(word):
+            raise SqlError(
+                f"expected {word} at position {token.position}, "
+                f"got {token.value!r}"
+            )
+        return token
+
+    def expect_type(self, token_type: TokenType) -> Token:
+        token = self.advance()
+        if token.type is not token_type:
+            raise SqlError(
+                f"expected {token_type.value} at position "
+                f"{token.position}, got {token.value!r}"
+            )
+        return token
+
+    def accept_keyword(self, word: str) -> bool:
+        if self.peek().is_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    def accept_type(self, token_type: TokenType) -> Optional[Token]:
+        if self.peek().type is token_type:
+            return self.advance()
+        return None
+
+    # -- grammar ----------------------------------------------------------
+    def parse(self) -> SelectStatement:
+        self.expect_keyword("SELECT")
+        items = [self.select_item()]
+        while self.accept_type(TokenType.COMMA):
+            items.append(self.select_item())
+
+        self.expect_keyword("FROM")
+        tables = [self.table_ref()]
+        while self.accept_type(TokenType.COMMA):
+            tables.append(self.table_ref())
+
+        where: List[Comparison] = []
+        if self.accept_keyword("WHERE"):
+            where.append(self.comparison())
+            while True:
+                if self.accept_keyword("AND"):
+                    where.append(self.comparison())
+                elif self.peek().is_keyword("OR"):
+                    raise SqlError(
+                        "OR is not supported: the hybrid join algorithms "
+                        "push down conjunctive predicates only"
+                    )
+                else:
+                    break
+
+        group_by: List[object] = []
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            group_by.append(self.additive())
+            while self.accept_type(TokenType.COMMA):
+                group_by.append(self.additive())
+
+        order_by: List[OrderItem] = []
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            order_by.append(self.order_item())
+            while self.accept_type(TokenType.COMMA):
+                order_by.append(self.order_item())
+
+        limit: Optional[int] = None
+        if self.accept_keyword("LIMIT"):
+            token = self.expect_type(TokenType.NUMBER)
+            if "." in token.value:
+                raise SqlError("LIMIT takes an integer")
+            limit = int(token.value)
+            if limit < 0:
+                raise SqlError("LIMIT must be non-negative")
+
+        token = self.peek()
+        if token.type is not TokenType.END:
+            raise SqlError(
+                f"unexpected trailing input at position {token.position}: "
+                f"{token.value!r}"
+            )
+        return SelectStatement(
+            select_items=tuple(items),
+            tables=tuple(tables),
+            where=tuple(where),
+            group_by=tuple(group_by),
+            order_by=tuple(order_by),
+            limit=limit,
+        )
+
+    def order_item(self) -> "OrderItem":
+        token = self.peek()
+        if token.type is TokenType.KEYWORD and \
+                token.value in AGGREGATE_KEYWORDS:
+            expression = self.aggregate()
+        else:
+            expression = self.additive()
+        descending = False
+        if self.accept_keyword("DESC"):
+            descending = True
+        else:
+            self.accept_keyword("ASC")
+        return OrderItem(expression=expression, descending=descending)
+
+    def select_item(self) -> SelectItem:
+        token = self.peek()
+        if token.type is TokenType.KEYWORD and \
+                token.value in AGGREGATE_KEYWORDS:
+            aggregate = self.aggregate()
+            alias = self.optional_alias()
+            return SelectItem(aggregate, alias)
+        expression = self.additive()
+        return SelectItem(expression, self.optional_alias())
+
+    def optional_alias(self) -> Optional[str]:
+        if self.accept_keyword("AS"):
+            return self.expect_type(TokenType.IDENT).value
+        return None
+
+    def aggregate(self) -> Aggregate:
+        function = self.advance().value  # COUNT/SUM/MIN/MAX/AVG
+        self.expect_type(TokenType.LPAREN)
+        if function == "COUNT":
+            if self.accept_type(TokenType.STAR):
+                self.expect_type(TokenType.RPAREN)
+                return Aggregate("count", None)
+            argument = self.additive()
+            self.expect_type(TokenType.RPAREN)
+            return Aggregate("count", argument)
+        argument = self.additive()
+        self.expect_type(TokenType.RPAREN)
+        return Aggregate(function.lower(), argument)
+
+    def table_ref(self) -> TableRef:
+        name = self.expect_type(TokenType.IDENT).value
+        if self.accept_keyword("AS"):
+            return TableRef(name, self.expect_type(TokenType.IDENT).value)
+        alias_token = self.accept_type(TokenType.IDENT)
+        if alias_token:
+            return TableRef(name, alias_token.value)
+        return TableRef(name)
+
+    def comparison(self):
+        left = self.additive()
+        if self.accept_keyword("IN"):
+            self.expect_type(TokenType.LPAREN)
+            values = [self.literal_value()]
+            while self.accept_type(TokenType.COMMA):
+                values.append(self.literal_value())
+            self.expect_type(TokenType.RPAREN)
+            return InList(expression=left, values=tuple(values))
+        operator = self.peek()
+        if operator.type is not TokenType.OPERATOR or \
+                operator.value not in COMPARISON_OPERATORS:
+            raise SqlError(
+                f"expected a comparison operator at position "
+                f"{operator.position}, got {operator.value!r}"
+            )
+        self.advance()
+        right = self.additive()
+        op = "!=" if operator.value == "<>" else operator.value
+        op = "==" if op == "=" else op
+        return Comparison(op=op, left=left, right=right)
+
+    def literal_value(self):
+        token = self.advance()
+        if token.type is TokenType.NUMBER:
+            return float(token.value) if "." in token.value \
+                else int(token.value)
+        if token.type is TokenType.STRING:
+            return token.value
+        raise SqlError(
+            f"IN lists hold literals; got {token.value!r} at position "
+            f"{token.position}"
+        )
+
+    def additive(self):
+        left = self.primary()
+        while True:
+            token = self.peek()
+            if token.type is TokenType.OPERATOR and \
+                    token.value in ("-", "+"):
+                self.advance()
+                left = BinaryOp(token.value, left, self.primary())
+            else:
+                return left
+
+    def primary(self):
+        token = self.advance()
+        if token.type is TokenType.NUMBER:
+            value = float(token.value) if "." in token.value \
+                else int(token.value)
+            return Literal(value)
+        if token.type is TokenType.STRING:
+            return Literal(token.value)
+        if token.type is TokenType.LPAREN:
+            inner = self.additive()
+            self.expect_type(TokenType.RPAREN)
+            return inner
+        if token.type is TokenType.IDENT:
+            if self.peek().type is TokenType.LPAREN:
+                self.advance()
+                argument = self.additive()
+                self.expect_type(TokenType.RPAREN)
+                return FuncCall(token.value, argument)
+            if self.peek().type is TokenType.DOT:
+                self.advance()
+                column = self.expect_type(TokenType.IDENT).value
+                return ColumnRef(token.value, column)
+            return ColumnRef(None, token.value)
+        if token.is_keyword("NOT"):
+            raise SqlError(
+                "NOT is not supported in the pushed-down predicate class"
+            )
+        raise SqlError(
+            f"unexpected token {token.value!r} at position {token.position}"
+        )
+
+
+def parse_select(sql: str) -> SelectStatement:
+    """Parse one SELECT statement of the paper's query class."""
+    return _Parser(tokenize(sql)).parse()

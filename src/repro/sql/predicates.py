@@ -1,0 +1,106 @@
+"""Standalone parsing of predicate fragments.
+
+The paper's ``read_hdfs`` table UDF receives the HDFS-side predicates as
+a SQL *string* (``'region(ip) = ''East Coast'''``, Section 4.1.1) and the
+JEN workers evaluate it during the scan.  :func:`predicate_from_sql`
+reproduces that: it parses a conjunctive WHERE fragment against one
+table's schema and returns an executable
+:class:`~repro.relational.expressions.Predicate`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.relational.expressions import (
+    ColumnPredicate,
+    CompareOp,
+    Predicate,
+    TruePredicate,
+    UdfPredicate,
+    conjunction_of,
+)
+from repro.relational.schema import Schema
+from repro.sql.ast import ColumnRef, Comparison, FuncCall, Literal
+from repro.sql.lexer import SqlError, TokenType, tokenize
+from repro.sql.parser import _Parser
+
+
+def _parse_conjuncts(text: str) -> List[Comparison]:
+    parser = _Parser(tokenize(text))
+    conjuncts = [parser.comparison()]
+    while parser.accept_keyword("AND"):
+        conjuncts.append(parser.comparison())
+    trailing = parser.peek()
+    if trailing.type is not TokenType.END:
+        raise SqlError(
+            f"unexpected trailing input in predicate fragment at "
+            f"position {trailing.position}: {trailing.value!r}"
+        )
+    return conjuncts
+
+
+def predicate_from_sql(text: str, schema: Schema,
+                       udfs=None) -> Predicate:
+    """Parse a conjunctive predicate fragment over one table.
+
+    Supports ``column <op> literal``, ``literal <op> column`` and
+    ``udf(column) <op> literal`` conjuncts; UDFs are resolved against
+    ``udfs`` (a :class:`~repro.edw.udf.UdfRegistry`).  An empty or
+    whitespace fragment yields :class:`TruePredicate`.
+    """
+    if not text or not text.strip():
+        return TruePredicate()
+    predicates: List[Predicate] = []
+    for comparison in _parse_conjuncts(text):
+        predicates.append(_to_predicate(comparison, schema, udfs))
+    return conjunction_of(predicates)
+
+
+def _to_predicate(comparison: Comparison, schema: Schema,
+                  udfs) -> Predicate:
+    left, right = comparison.left, comparison.right
+    op = comparison.op
+    if isinstance(left, Literal) and not isinstance(right, Literal):
+        flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<=",
+                   "==": "==", "!=": "!="}
+        left, right, op = right, left, flipped[op]
+    if not isinstance(right, Literal):
+        raise SqlError(
+            "predicate fragments compare one column (or UDF of one "
+            f"column) against a literal; got {comparison!r}"
+        )
+    if isinstance(left, ColumnRef):
+        _check_column(left, schema)
+        return ColumnPredicate(left.column, CompareOp(op), right.value)
+    if isinstance(left, FuncCall):
+        inner = left.argument
+        if not isinstance(inner, ColumnRef):
+            raise SqlError(
+                f"UDF predicates take a single column: {left.name}(...)"
+            )
+        _check_column(inner, schema)
+        if udfs is None or left.name not in udfs.names():
+            raise SqlError(f"unknown UDF {left.name!r} in predicate")
+        literal = right.value
+        operator = CompareOp(op)
+        name = left.name
+
+        def mask(values: np.ndarray, udfs=udfs, name=name,
+                 operator=operator, literal=literal) -> np.ndarray:
+            if values.size == 0:
+                return np.empty(0, dtype=bool)
+            vector = np.vectorize(lambda v: udfs.call(name, v))
+            return operator.apply(vector(values), literal)
+
+        return UdfPredicate(name, inner.column, mask)
+    raise SqlError(f"unsupported predicate fragment: {comparison!r}")
+
+
+def _check_column(ref: ColumnRef, schema: Schema) -> None:
+    if not schema.has_column(ref.column):
+        raise SqlError(
+            f"unknown column {ref.column!r} in predicate fragment"
+        )

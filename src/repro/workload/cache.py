@@ -1,0 +1,89 @@
+"""Workload persistence: save/load generated tables as ``.npz`` bundles.
+
+Regenerating the synthetic tables is cheap at test scale but takes
+seconds at larger data planes; examples and long benchmark campaigns can
+persist a generated :class:`~repro.workload.generator.Workload` once and
+reload it instantly.  The bundle stores every column array, the
+dictionaries of dict-string columns, and the spec/threshold metadata
+needed to rebuild the paper query.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Union
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.relational.schema import DataType
+from repro.relational.table import Table
+from repro.workload.generator import (
+    KeyLayout,
+    PredicateThresholds,
+    Workload,
+    WorkloadSpec,
+)
+from repro.workload.scenario import log_schema, transaction_schema
+
+#: Bundle format version.
+FORMAT_VERSION = 1
+
+
+def save_workload(workload: Workload,
+                  path: Union[str, pathlib.Path]) -> pathlib.Path:
+    """Write a workload to ``path`` (a single ``.npz`` file)."""
+    path = pathlib.Path(path)
+    arrays = {}
+    for prefix, table in (("t", workload.t_table),
+                          ("l", workload.l_table)):
+        for column in table.schema:
+            arrays[f"{prefix}__{column.name}"] = table.column(column.name)
+            if column.dtype is DataType.DICT_STRING:
+                arrays[f"{prefix}__dict__{column.name}"] = \
+                    table.dictionary(column.name).astype(str)
+    metadata = {
+        "format_version": FORMAT_VERSION,
+        "spec": workload.spec.__dict__,
+        "layout": workload.layout.__dict__,
+        "t_thresholds": workload.t_thresholds.__dict__,
+        "l_thresholds": workload.l_thresholds.__dict__,
+    }
+    arrays["__meta__"] = np.array(json.dumps(metadata))
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_workload(path: Union[str, pathlib.Path]) -> Workload:
+    """Load a workload previously written by :func:`save_workload`."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise WorkloadError(f"no workload bundle at {path}")
+    with np.load(path, allow_pickle=False) as bundle:
+        metadata = json.loads(str(bundle["__meta__"]))
+        if metadata.get("format_version") != FORMAT_VERSION:
+            raise WorkloadError(
+                f"unsupported workload bundle version "
+                f"{metadata.get('format_version')!r}"
+            )
+        tables = {}
+        for prefix, schema in (("t", transaction_schema()),
+                               ("l", log_schema())):
+            columns = {}
+            dictionaries = {}
+            for column in schema:
+                columns[column.name] = bundle[f"{prefix}__{column.name}"]
+                if column.dtype is DataType.DICT_STRING:
+                    dictionaries[column.name] = bundle[
+                        f"{prefix}__dict__{column.name}"
+                    ].astype(object)
+            tables[prefix] = Table(schema, columns, dictionaries)
+    return Workload(
+        spec=WorkloadSpec(**metadata["spec"]),
+        layout=KeyLayout(**metadata["layout"]),
+        t_table=tables["t"],
+        l_table=tables["l"],
+        t_thresholds=PredicateThresholds(**metadata["t_thresholds"]),
+        l_thresholds=PredicateThresholds(**metadata["l_thresholds"]),
+    )

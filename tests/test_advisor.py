@@ -1,0 +1,97 @@
+"""Tests for the join advisor (the paper's Section 5.5 rules as code)."""
+
+import pytest
+
+from repro.core.advisor import JoinAdvisor, WorkloadEstimate
+
+
+def estimate(sigma_t, sigma_l, s_t=0.2, s_l=0.1, format_name="parquet"):
+    return WorkloadEstimate(
+        t_rows=1.6e9, l_rows=15e9,
+        sigma_t=sigma_t, sigma_l=sigma_l, s_t=s_t, s_l=s_l,
+        format_name=format_name,
+    )
+
+
+@pytest.fixture(scope="module")
+def advisor():
+    return JoinAdvisor()
+
+
+class TestDecisions:
+    def test_broadcast_for_tiny_t_prime(self, advisor):
+        decision = advisor.decide(estimate(0.0005, 0.2))
+        assert decision.best in ("broadcast", "repartition")
+        # And broadcast must at least be competitive with repartition.
+        est = decision.estimated_seconds
+        assert est["broadcast"] <= est["repartition"] * 1.2
+
+    def test_db_side_for_tiny_sigma_l(self, advisor):
+        decision = advisor.decide(estimate(0.1, 0.001))
+        assert decision.best.startswith("db")
+
+    def test_zigzag_for_common_case(self, advisor):
+        decision = advisor.decide(estimate(0.1, 0.3))
+        assert decision.best == "zigzag"
+
+    def test_rationale_strings(self, advisor):
+        assert "paper" in advisor.decide(estimate(0.1, 0.3)).rationale
+        assert "paper" in advisor.decide(estimate(0.1, 0.001)).rationale
+
+    def test_ranking_sorted(self, advisor):
+        ranking = advisor.decide(estimate(0.1, 0.3)).ranking()
+        values = [seconds for _name, seconds in ranking]
+        assert values == sorted(values)
+        assert ranking[0][0] == "zigzag"
+
+
+class TestEstimateConsistency:
+    def test_all_algorithms_estimated(self, advisor):
+        estimates = advisor.estimate_all(estimate(0.1, 0.2))
+        assert set(estimates) == {
+            "db", "db(BF)", "broadcast", "repartition",
+            "repartition(BF)", "zigzag",
+        }
+        assert all(value > 0 for value in estimates.values())
+
+    def test_db_side_estimate_grows_with_sigma_l(self, advisor):
+        small = advisor.estimate_all(estimate(0.1, 0.01))["db"]
+        large = advisor.estimate_all(estimate(0.1, 0.3))["db"]
+        assert large > 2 * small
+
+    def test_zigzag_estimate_flat_in_sigma_l(self, advisor):
+        small = advisor.estimate_all(estimate(0.1, 0.01))["zigzag"]
+        large = advisor.estimate_all(estimate(0.1, 0.3))["zigzag"]
+        assert large < 2 * small
+
+    def test_text_estimates_higher(self, advisor):
+        parquet = advisor.estimate_all(estimate(0.1, 0.2))["zigzag"]
+        text = advisor.estimate_all(
+            estimate(0.1, 0.2, format_name="text")
+        )["zigzag"]
+        assert text > parquet
+
+    def test_estimates_track_simulation_ordering(self, advisor):
+        """The advisor's relative ordering must agree with the full
+        simulation at a representative point."""
+        from repro import algorithm_by_name
+        from repro.bench.harness import WarehouseCache
+
+        cache = WarehouseCache(scale=1.0 / 50_000.0)
+        setup = cache.setup(0.1, 0.2, s_t=0.1, s_l=0.1)
+        simulated = {
+            name: algorithm_by_name(name).run(
+                setup.warehouse, setup.query
+            ).total_seconds
+            for name in ("zigzag", "repartition", "db")
+        }
+        estimated = advisor.estimate_all(
+            estimate(0.1, 0.2, s_t=0.1, s_l=0.1)
+        )
+        # Same winner and same loser among the three.
+        sim_order = sorted(simulated, key=simulated.get)
+        est_order = sorted(
+            {k: estimated[k] for k in simulated}, key=estimated.get
+        )
+        assert sim_order[0] == est_order[0]
+        assert sim_order[-1] == est_order[-1]

@@ -1,0 +1,92 @@
+"""Property-based tests (hypothesis) for the Bloom filter invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bloom import BloomFilter
+
+keys_strategy = st.lists(
+    st.integers(min_value=0, max_value=2**62), max_size=200
+)
+
+
+@given(keys=keys_strategy)
+@settings(max_examples=80, deadline=None)
+def test_no_false_negatives(keys):
+    """Every inserted key must test positive — the guarantee the join
+    algorithms' correctness rests on."""
+    bloom = BloomFilter(512, num_hashes=2)
+    bloom.add(np.array(keys, dtype=np.int64))
+    if keys:
+        assert bloom.contains(np.array(keys, dtype=np.int64)).all()
+
+
+@given(left=keys_strategy, right=keys_strategy)
+@settings(max_examples=60, deadline=None)
+def test_union_equals_filter_of_union(left, right):
+    """OR-merging local filters is exactly a filter over the union —
+    the property the paper's combine_filter UDF relies on."""
+    a = BloomFilter(1024, num_hashes=2, seed=5)
+    b = BloomFilter(1024, num_hashes=2, seed=5)
+    a.add(np.array(left, dtype=np.int64))
+    b.add(np.array(right, dtype=np.int64))
+    merged = a.copy().union_in_place(b)
+
+    combined = BloomFilter(1024, num_hashes=2, seed=5)
+    combined.add(np.array(left + right, dtype=np.int64))
+
+    probes = np.arange(0, 500, dtype=np.int64)
+    assert (merged.contains(probes) == combined.contains(probes)).all()
+
+
+@given(keys=keys_strategy, extra=keys_strategy)
+@settings(max_examples=60, deadline=None)
+def test_adding_more_keys_is_monotone(keys, extra):
+    """Adding keys can only turn negatives into positives, never the
+    reverse (bit arrays are monotone under OR)."""
+    before = BloomFilter(512, num_hashes=3)
+    before.add(np.array(keys, dtype=np.int64))
+    after = before.copy()
+    after.add(np.array(extra, dtype=np.int64))
+
+    probes = np.arange(0, 300, dtype=np.int64)
+    was_positive = before.contains(probes)
+    still_positive = after.contains(probes)
+    assert (still_positive | ~was_positive).all()
+
+
+@given(keys=keys_strategy, parts=st.integers(1, 8))
+@settings(max_examples=50, deadline=None)
+def test_combine_is_order_and_partition_invariant(keys, parts):
+    """Splitting insertions across workers and merging gives a filter
+    identical to single-site construction."""
+    whole = BloomFilter(1024, num_hashes=2, seed=11)
+    whole.add(np.array(keys, dtype=np.int64))
+
+    chunks = [keys[i::parts] for i in range(parts)]
+    locals_ = []
+    for chunk in chunks:
+        bloom = BloomFilter(1024, num_hashes=2, seed=11)
+        bloom.add(np.array(chunk, dtype=np.int64))
+        locals_.append(bloom)
+    merged = BloomFilter.combine(locals_)
+
+    probes = np.arange(0, 400, dtype=np.int64)
+    assert (merged.contains(probes) == whole.contains(probes)).all()
+    assert merged.bits_set() == whole.bits_set()
+
+
+@given(
+    num_bits=st.sampled_from([256, 1024, 8192]),
+    num_hashes=st.integers(1, 4),
+    keys=keys_strategy,
+)
+@settings(max_examples=40, deadline=None)
+def test_fill_ratio_bounds(num_bits, num_hashes, keys):
+    """Fill ratio stays in [0, 1] and bits_set <= k * insertions."""
+    bloom = BloomFilter(num_bits, num_hashes=num_hashes)
+    bloom.add(np.array(keys, dtype=np.int64))
+    assert 0.0 <= bloom.fill_ratio() <= 1.0
+    assert bloom.bits_set() <= num_hashes * max(1, len(keys)) \
+        or bloom.bits_set() <= num_bits

@@ -1,0 +1,145 @@
+"""Unit tests for the cost layer — the calibration regression net.
+
+These pin the paper's hard anchors (scan times) and the structural
+behaviour of every pricing function, so a cost-model change that would
+silently move the calibration gets caught here before the figure-level
+shape checks.
+"""
+
+import pytest
+
+from repro.config import default_config
+from repro.core.joins.costing import JoinCosting
+
+
+@pytest.fixture(scope="module")
+def costing():
+    # Scale 1.0: feed paper-scale volumes directly.
+    return JoinCosting(default_config(scale=1.0))
+
+
+TB = 1e12
+GB = 1e9
+
+
+class TestPaperAnchors:
+    def test_text_scan_of_1tb_is_about_240s(self, costing):
+        seconds = costing.hdfs_scan_seconds(1.1e12, 15e9, "text")
+        assert seconds == pytest.approx(240, rel=0.15)
+
+    def test_parquet_projected_scan_is_about_38s(self, costing):
+        # The paper reads the needed fields of the Parquet table in ~38 s;
+        # our projected+compressed volume for the benchmark query is
+        # ~310 GB.
+        seconds = costing.hdfs_scan_seconds(310e9, 15e9, "parquet")
+        assert seconds == pytest.approx(45, rel=0.25)
+
+    def test_bloom_filter_is_16mb(self, costing):
+        assert costing.bloom_bytes() == 16 * 1024 * 1024
+
+    def test_bf_multicast_sub_second(self, costing):
+        assert costing.bloom_to_jen_seconds() < 1.0
+
+    def test_bf_return_path_seconds(self, costing):
+        # 30 copies through the designated worker's 1 Gbit NIC: ~3.7 s.
+        assert 2.0 < costing.bloom_to_db_seconds() < 6.0
+        assert 2.0 < costing.bloom_merge_intra_jen_seconds() < 6.0
+
+
+class TestScanPricing:
+    def test_orc_rate_used(self, costing):
+        parquet = costing.hdfs_scan_seconds(100e9, 1e9, "parquet")
+        orc = costing.hdfs_scan_seconds(100e9, 1e9, "orc")
+        assert orc > parquet  # slightly slower decode
+
+    def test_unknown_format_falls_back_to_text(self, costing):
+        unknown = costing.hdfs_scan_seconds(100e9, 1e9, "avro")
+        text = costing.hdfs_scan_seconds(100e9, 1e9, "text")
+        assert unknown == text
+
+    def test_remote_fraction_slows_scan(self, costing):
+        local = costing.hdfs_scan_seconds(300e9, 1e9, "parquet")
+        remote = costing.hdfs_scan_seconds(300e9, 1e9, "parquet",
+                                           remote_fraction=1.0)
+        assert remote > local
+
+    def test_cpu_bound_scan(self, costing):
+        # Tiny bytes, huge row count: the process thread dominates.
+        io_bound = costing.hdfs_scan_seconds(1e9, 1e6, "parquet")
+        cpu_bound = costing.hdfs_scan_seconds(1e9, 100e9, "parquet")
+        assert cpu_bound > io_bound
+
+
+class TestDatabasePricing:
+    def test_index_fast_path_only_when_selective(self, costing):
+        full = costing.db_table_scan_seconds(97e9)
+        indexed_selective = costing.db_table_scan_seconds(
+            97e9, raw_matched_rows=1.6e6, index_available=True
+        )
+        indexed_unselective = costing.db_table_scan_seconds(
+            97e9, raw_matched_rows=800e6, index_available=True
+        )
+        assert indexed_selective < full
+        assert indexed_unselective == full  # optimizer keeps the scan
+
+    def test_no_index_means_scan(self, costing):
+        assert costing.db_table_scan_seconds(
+            97e9, raw_matched_rows=1.0, index_available=False
+        ) == costing.db_table_scan_seconds(97e9)
+
+    def test_export_dominated_by_tuple_rate(self, costing):
+        # 165 M tuples at 32 k/s/worker over 30 workers: ~172 s.
+        seconds = costing.db_export_seconds(165e6, 16.0)
+        assert seconds == pytest.approx(165e6 / (30 * 0.032e6), rel=0.01)
+
+    def test_export_copies_cost_half_each(self, costing):
+        once = costing.db_export_seconds(1e6, 16.0, copies=1)
+        thirty = costing.db_export_seconds(1e6, 16.0, copies=30)
+        assert thirty == pytest.approx(once * (1 + 29 * 0.5), rel=0.05)
+
+    def test_ingest_slower_than_export_volume_for_volume(self, costing):
+        # Same tuple count: ingest at 150 k/s/worker beats export at
+        # 32 k/s/worker (the asymmetry is per-direction UDF cost).
+        assert costing.db_ingest_seconds(100e6, 32.0) < \
+            costing.db_export_seconds(100e6, 32.0)
+
+    def test_second_access_much_cheaper_than_export(self, costing):
+        assert costing.db_second_access_seconds(165e6) < \
+            0.05 * costing.db_export_seconds(165e6, 16.0)
+
+
+class TestJenPricing:
+    def test_shuffle_skew_multiplies(self, costing):
+        base = costing.jen_shuffle_seconds(591e6, 32.0)
+        skewed = costing.jen_shuffle_seconds(591e6, 32.0, skew=2.0)
+        assert skewed == pytest.approx(2.0 * base, rel=1e-6)
+        # Sub-1 skews never speed things up.
+        assert costing.jen_shuffle_seconds(591e6, 32.0, skew=0.5) == base
+
+    def test_build_full_copy_does_not_parallelise(self, costing):
+        shared = costing.hash_build_seconds(30e6)
+        full = costing.hash_build_seconds(30e6, per_worker_full_copy=True)
+        assert full == pytest.approx(30 * shared, rel=1e-6)
+
+    def test_spill_prices_write_plus_read(self, costing):
+        one_pass = costing.jen_spill_seconds(1e9, 32.0)
+        # 1 B tuples * 32 B * 2 passes over 30 workers at 200 MB/s.
+        expected = 1e9 * 32 * 2 / (30 * 200 * 1024 * 1024)
+        assert one_pass == pytest.approx(expected, rel=1e-6)
+
+    def test_probe_scales_with_output(self, costing):
+        small = costing.probe_seconds(1e6, 1e6)
+        large = costing.probe_seconds(1e6, 1e9)
+        assert large > 100 * small
+
+
+class TestScaleUp:
+    def test_volumes_rescale_linearly(self):
+        paper = JoinCosting(default_config(scale=1.0))
+        reduced = JoinCosting(default_config(scale=1e-4))
+        assert reduced.jen_shuffle_seconds(591e2, 32.0) == pytest.approx(
+            paper.jen_shuffle_seconds(591e6, 32.0), rel=1e-9
+        )
+        assert reduced.db_export_seconds(165e2, 16.0) == pytest.approx(
+            paper.db_export_seconds(165e6, 16.0), rel=1e-9
+        )

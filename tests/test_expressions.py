@@ -1,0 +1,125 @@
+"""Unit tests for repro.relational.expressions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExpressionError
+from repro.relational.expressions import (
+    BetweenDayDiff,
+    ColumnPredicate,
+    CompareOp,
+    Conjunction,
+    Disjunction,
+    Negation,
+    TruePredicate,
+    UdfPredicate,
+    compare,
+    conjunction_of,
+)
+from repro.relational.schema import Column, DataType, Schema
+from repro.relational.table import Table
+
+
+def date_table():
+    schema = Schema([
+        Column("t_date", DataType.DATE),
+        Column("l_date", DataType.DATE),
+    ])
+    return Table(schema, {
+        "t_date": np.array([5, 5, 5, 5]),
+        "l_date": np.array([5, 4, 3, 6]),
+    })
+
+
+class TestCompareOps:
+    # Rows under test hold k = [1, 2, 2].
+    @pytest.mark.parametrize("op,expected", [
+        ("==", [False, True, True]),
+        ("!=", [True, False, False]),
+        ("<", [True, False, False]),
+        ("<=", [True, True, True]),
+        (">", [False, False, False]),
+        (">=", [False, True, True]),
+    ])
+    def test_all_operators(self, op, expected, small_table):
+        predicate = compare("k", op, 2)
+        table = small_table.slice(0, 3)
+        assert predicate.evaluate(table).tolist() == expected
+
+    def test_unknown_operator(self):
+        with pytest.raises(ExpressionError, match="unknown comparison"):
+            compare("k", "~", 1)
+
+    def test_columns(self):
+        assert compare("k", "<", 1).columns() == ("k",)
+
+
+class TestBooleanCombinators:
+    def test_and(self, small_table):
+        predicate = compare("k", ">=", 2) & compare("v", "<=", 21)
+        assert predicate.evaluate(small_table).tolist() == [
+            False, True, True, False, False
+        ]
+
+    def test_or(self, small_table):
+        predicate = compare("k", "==", 1) | compare("k", "==", 5)
+        assert predicate.evaluate(small_table).tolist() == [
+            True, False, False, False, True
+        ]
+
+    def test_not(self, small_table):
+        predicate = ~compare("k", "==", 2)
+        assert predicate.evaluate(small_table).tolist() == [
+            True, False, False, True, True
+        ]
+
+    def test_columns_deduplicated(self):
+        predicate = compare("a", "<", 1) & compare("a", ">", 0) \
+            & compare("b", "==", 2)
+        assert predicate.columns() == ("a", "b")
+
+    def test_empty_conjunction_true(self, small_table):
+        assert Conjunction(()).evaluate(small_table).all()
+
+    def test_empty_disjunction_false(self, small_table):
+        assert not Disjunction(()).evaluate(small_table).any()
+
+    def test_true_predicate(self, small_table):
+        assert TruePredicate().evaluate(small_table).all()
+        assert TruePredicate().columns() == ()
+
+    def test_conjunction_of_helper(self, small_table):
+        assert isinstance(conjunction_of([]), TruePredicate)
+        single = compare("k", "<", 3)
+        assert conjunction_of([single]) is single
+        assert isinstance(
+            conjunction_of([single, TruePredicate(), single]), Conjunction
+        )
+
+
+class TestBetweenDayDiff:
+    def test_paper_post_join_predicate(self):
+        predicate = BetweenDayDiff("t_date", "l_date", low=0, high=1)
+        # diffs: 0, 1, 2, -1 -> True, True, False, False
+        assert predicate.evaluate(date_table()).tolist() == [
+            True, True, False, False
+        ]
+
+    def test_columns(self):
+        predicate = BetweenDayDiff("t_date", "l_date")
+        assert predicate.columns() == ("t_date", "l_date")
+
+
+class TestUdfPredicate:
+    def test_region_style_udf(self, small_table):
+        predicate = UdfPredicate(
+            "is_even", "v", lambda values: values % 2 == 0
+        )
+        assert predicate.evaluate(small_table).tolist() == [
+            True, True, False, True, True
+        ]
+
+    def test_bad_return_shape_raises(self, small_table):
+        predicate = UdfPredicate("bad", "v", lambda values: values)
+        with pytest.raises(ExpressionError, match="boolean mask"):
+            predicate.evaluate(small_table)

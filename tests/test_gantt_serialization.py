@@ -1,0 +1,126 @@
+"""Tests for the Gantt renderer and experiment-result serialization."""
+
+import pytest
+
+from repro.bench.experiments import ExperimentResult, ShapeCheck
+from repro.bench.serialization import (
+    diff_results,
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+)
+from repro.errors import ReproError, SimulationError
+from repro.sim.gantt import render_gantt
+from repro.sim.replay import replay_trace
+from repro.sim.trace import Trace
+
+
+def sample_timing():
+    trace = Trace("demo")
+    trace.add("scan", "hdfs_scan", 40.0)
+    trace.add("shuffle", "shuffle", 20.0, streams_from=["scan"])
+    trace.add("probe", "cpu", 10.0, after=["shuffle"])
+    return replay_trace(trace)
+
+
+class TestGantt:
+    def test_bars_positioned_by_time(self):
+        chart = render_gantt(sample_timing(), width=50)
+        lines = chart.splitlines()
+        scan_line = next(l for l in lines if l.startswith("scan"))
+        probe_line = next(l for l in lines if l.startswith("probe"))
+        # Scan starts at column 0; probe starts far right.
+        assert scan_line.split("|")[1].startswith("#")
+        assert probe_line.split("|")[1].startswith(".")
+
+    def test_pipelining_visible(self):
+        """The shuffle bar overlaps the scan bar in time."""
+        chart = render_gantt(sample_timing(), width=50)
+        lines = chart.splitlines()
+        scan_bar = next(l for l in lines
+                        if l.startswith("scan")).split("|")[1]
+        shuffle_bar = next(l for l in lines
+                           if l.startswith("shuffle")).split("|")[1]
+        overlap = sum(
+            1 for a, b in zip(scan_bar, shuffle_bar)
+            if a == "#" and b == "#"
+        )
+        assert overlap > 10
+
+    def test_header_and_axis(self):
+        chart = render_gantt(sample_timing())
+        assert chart.splitlines()[0].startswith("demo")
+        assert "50.6" in chart or "50." in chart
+
+    def test_invalid_width(self):
+        with pytest.raises(SimulationError):
+            render_gantt(sample_timing(), width=0)
+
+    def test_real_algorithm_schedule(self, loaded_warehouse, paper_query):
+        from repro import algorithm_by_name
+
+        result = algorithm_by_name("zigzag").run(
+            loaded_warehouse, paper_query
+        )
+        chart = render_gantt(result.timing)
+        assert "db_export" in chart and "hdfs_scan" in chart
+
+
+def sample_result():
+    return ExperimentResult(
+        experiment_id="fig8",
+        title="Figure 8",
+        headers=["algorithm", "seconds"],
+        rows=[{"algorithm": "zigzag", "seconds": 93.9},
+              {"algorithm": "repartition", "seconds": 217.0}],
+        checks=[ShapeCheck("zigzag wins", True)],
+        notes="demo",
+    )
+
+
+class TestSerialization:
+    def test_round_trip(self, tmp_path):
+        path = save_result(sample_result(), tmp_path / "fig8.json")
+        loaded = load_result(path)
+        original = sample_result()
+        assert loaded.experiment_id == original.experiment_id
+        assert loaded.rows == original.rows
+        assert loaded.checks[0].claim == "zigzag wins"
+        assert loaded.all_passed()
+        assert loaded.notes == "demo"
+
+    def test_schema_version_guard(self):
+        payload = result_to_dict(sample_result())
+        payload["schema_version"] = 99
+        with pytest.raises(ReproError, match="schema"):
+            result_from_dict(payload)
+
+    def test_diff_no_drift(self):
+        assert diff_results(sample_result(), sample_result()) == []
+
+    def test_diff_detects_drift(self):
+        before = sample_result()
+        after = sample_result()
+        after.rows[0]["seconds"] = 150.0
+        drifts = diff_results(before, after)
+        assert len(drifts) == 1
+        assert drifts[0]["row"] == 0
+        assert drifts[0]["drift"] > 0.5
+
+    def test_diff_different_experiments_rejected(self):
+        other = sample_result()
+        other.experiment_id = "fig9"
+        with pytest.raises(ReproError, match="different experiments"):
+            diff_results(sample_result(), other)
+
+    def test_live_experiment_round_trip(self, tmp_path):
+        from repro.bench import EXPERIMENTS, WarehouseCache
+
+        result = EXPERIMENTS["table1"].run(
+            WarehouseCache(scale=1 / 100_000)
+        )
+        path = save_result(result, tmp_path / "table1.json")
+        loaded = load_result(path)
+        assert loaded.all_passed() == result.all_passed()
+        assert loaded.rows == result.rows

@@ -1,0 +1,106 @@
+"""Tests for the equi-depth histogram statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.query.histogram import EquiDepthHistogram, TableStatistics
+from repro.relational.expressions import CompareOp, compare
+
+
+class TestHistogram:
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            EquiDepthHistogram(np.array([]))
+
+    def test_bad_bucket_count(self):
+        with pytest.raises(ReproError):
+            EquiDepthHistogram(np.array([1.0]), num_buckets=0)
+
+    def test_uniform_le_estimates(self):
+        rng = np.random.default_rng(3)
+        values = rng.integers(0, 1000, 50_000)
+        histogram = EquiDepthHistogram(values)
+        for literal in (100, 250, 500, 900):
+            truth = float((values <= literal).mean())
+            assert histogram.estimate_le(literal) == \
+                pytest.approx(truth, abs=0.02)
+
+    def test_boundaries(self):
+        histogram = EquiDepthHistogram(np.arange(100))
+        assert histogram.estimate_le(-1) == 0.0
+        assert histogram.estimate_le(99) == 1.0
+        assert histogram.estimate_le(1000) == 1.0
+
+    def test_skewed_distribution(self):
+        rng = np.random.default_rng(5)
+        values = (rng.pareto(2.0, 50_000) * 100).astype(np.int64)
+        histogram = EquiDepthHistogram(values)
+        for quantile in (0.25, 0.5, 0.9):
+            literal = float(np.quantile(values, quantile))
+            assert histogram.estimate_le(literal) == \
+                pytest.approx(quantile, abs=0.05)
+
+    def test_eq_estimate_reasonable(self):
+        values = np.repeat(np.arange(100), 50)  # 50 copies of each value
+        histogram = EquiDepthHistogram(values)
+        assert histogram.estimate_eq(42) == pytest.approx(1 / 100, rel=0.5)
+        assert histogram.estimate_eq(-5) == 0.0
+
+    @given(
+        literal=st.integers(-10, 1010),
+        op=st.sampled_from(list(CompareOp)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_estimates_are_probabilities(self, literal, op):
+        values = np.random.default_rng(0).integers(0, 1000, 5_000)
+        histogram = EquiDepthHistogram(values)
+        estimate = histogram.estimate(op, float(literal))
+        assert -1e-9 <= estimate <= 1.0 + 1e-9
+
+    def test_complementarity(self):
+        values = np.random.default_rng(1).integers(0, 1000, 20_000)
+        histogram = EquiDepthHistogram(values)
+        for literal in (100.0, 500.0):
+            le = histogram.estimate(CompareOp.LE, literal)
+            gt = histogram.estimate(CompareOp.GT, literal)
+            assert le + gt == pytest.approx(1.0, abs=1e-9)
+
+
+class TestTableStatistics:
+    def test_analyze_and_estimate_paper_predicate(self, paper_workload):
+        statistics = TableStatistics.analyze(paper_workload.t_table)
+        thresholds = paper_workload.t_thresholds
+        predicate = (
+            compare("corPred", "<=", thresholds.cor_threshold)
+            & compare("indPred", "<=", thresholds.ind_threshold)
+        )
+        estimate = statistics.estimate_predicate(predicate)
+        # The generated sigma_T is 0.1; independence holds by design.
+        assert estimate == pytest.approx(0.1, abs=0.03)
+        rows = statistics.estimate_rows(predicate)
+        assert rows == pytest.approx(
+            paper_workload.t_table.num_rows * 0.1, rel=0.35
+        )
+
+    def test_string_columns_skipped(self, paper_workload):
+        statistics = TableStatistics.analyze(paper_workload.l_table)
+        assert "groupByExtractCol" not in statistics.histograms
+        assert "joinKey" in statistics.histograms
+
+    def test_unknown_column_neutral(self, paper_workload):
+        statistics = TableStatistics.analyze(
+            paper_workload.t_table, columns=["corPred"]
+        )
+        estimate = statistics.estimate_predicate(
+            compare("indPred", "<=", 10)
+        )
+        assert estimate == 1.0
+
+    def test_true_predicate(self, paper_workload):
+        from repro.relational.expressions import TruePredicate
+
+        statistics = TableStatistics.analyze(paper_workload.t_table)
+        assert statistics.estimate_predicate(TruePredicate()) == 1.0

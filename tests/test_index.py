@@ -1,0 +1,111 @@
+"""Tests for the database secondary index."""
+
+import numpy as np
+import pytest
+
+from repro.edw.index import SecondaryIndex
+from repro.errors import CatalogError
+from repro.relational.expressions import TruePredicate, compare
+from repro.relational.schema import Column, DataType, Schema
+from repro.relational.table import Table
+
+
+def make_partition(rows=200, seed=1):
+    rng = np.random.default_rng(seed)
+    schema = Schema([
+        Column("corPred", DataType.INT32),
+        Column("indPred", DataType.INT32),
+        Column("joinKey", DataType.INT32),
+        Column("payload", DataType.INT64),
+    ])
+    return Table(schema, {
+        "corPred": rng.integers(0, 100, rows).astype(np.int32),
+        "indPred": rng.integers(0, 100, rows).astype(np.int32),
+        "joinKey": rng.integers(0, 50, rows).astype(np.int32),
+        "payload": rng.integers(0, 10**9, rows),
+    })
+
+
+class TestConstruction:
+    def test_needs_columns(self):
+        with pytest.raises(CatalogError):
+            SecondaryIndex("idx", make_partition(), [])
+
+    def test_unknown_column(self):
+        with pytest.raises(Exception):
+            SecondaryIndex("idx", make_partition(), ["ghost"])
+
+    def test_covers(self):
+        index = SecondaryIndex("idx", make_partition(),
+                               ["corPred", "indPred", "joinKey"])
+        assert index.covers(["corPred", "joinKey"])
+        assert not index.covers(["payload"])
+
+    def test_entry_bytes(self):
+        table = make_partition()
+        index = SecondaryIndex("idx", table, ["corPred", "joinKey"])
+        assert index.entry_bytes(table) == 4 + 4 + 8
+
+
+class TestLookups:
+    def setup_method(self):
+        self.table = make_partition()
+        self.index = SecondaryIndex(
+            "idx", self.table, ["corPred", "indPred", "joinKey"]
+        )
+
+    def _check(self, predicate):
+        expected = np.flatnonzero(predicate.evaluate(self.table))
+        got = self.index.lookup_rows(predicate, self.table)
+        assert sorted(got.tolist()) == expected.tolist()
+
+    def test_le_range(self):
+        self._check(compare("corPred", "<=", 30))
+
+    def test_lt_gt_ge(self):
+        self._check(compare("corPred", "<", 10))
+        self._check(compare("corPred", ">", 90))
+        self._check(compare("corPred", ">=", 95))
+
+    def test_eq(self):
+        self._check(compare("corPred", "==", 17))
+
+    def test_conjunction_paper_predicate(self):
+        self._check(
+            compare("corPred", "<=", 40) & compare("indPred", "<=", 25)
+        )
+
+    def test_none_and_true_predicate_return_all(self):
+        assert len(self.index.lookup_rows(None, self.table)) == \
+            self.table.num_rows
+        assert len(self.index.lookup_rows(TruePredicate(), self.table)) == \
+            self.table.num_rows
+
+    def test_uncovered_column_raises(self):
+        with pytest.raises(CatalogError, match="does not cover"):
+            self.index.lookup_rows(compare("payload", "<=", 5), self.table)
+
+    def test_non_column_predicate_raises(self):
+        from repro.relational.expressions import Negation
+        with pytest.raises(CatalogError, match="cannot evaluate"):
+            self.index.lookup_rows(
+                Negation(compare("corPred", "<=", 5)), self.table
+            )
+
+    def test_index_only_column_fetch(self):
+        rows = self.index.lookup_rows(
+            compare("corPred", "<=", 50), self.table
+        )
+        keys = self.index.entries_for_rows("joinKey", rows)
+        expected = self.table.column("joinKey")[rows]
+        assert (keys == expected).all()
+
+    def test_fetch_unmaterialised_column_raises(self):
+        with pytest.raises(CatalogError, match="does not materialise"):
+            self.index.entries_for_rows("payload", np.array([0]))
+
+    def test_empty_result_range(self):
+        got = self.index.lookup_rows(
+            compare("corPred", ">", 10_000), self.table
+        )
+        assert len(got) == 0

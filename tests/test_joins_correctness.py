@@ -1,0 +1,155 @@
+"""Result-correctness tests: every distributed algorithm must produce
+exactly the single-node reference answer.
+
+This is the core safety property of the reproduction: Bloom filters have
+false positives but no false negatives, shuffles conserve tuples, and
+partial aggregation merges losslessly — so all eight algorithms
+(including the two exact-filter baselines) agree with
+:func:`repro.query.executor.reference_join` bit for bit.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import algorithm_by_name, generate_workload, reference_join
+from repro.workload import WorkloadSpec, build_paper_query
+from tests.conftest import build_test_warehouse, make_test_spec
+
+ALL_ALGORITHMS = [
+    "db", "db(BF)", "broadcast", "repartition", "repartition(BF)",
+    "zigzag", "zigzag-db", "semijoin", "perf",
+]
+
+
+@pytest.fixture(scope="module")
+def reference_result(paper_workload, paper_query):
+    return reference_join(
+        paper_workload.t_table, paper_workload.l_table, paper_query
+    )
+
+
+class TestAllAlgorithmsMatchReference:
+    @pytest.mark.parametrize("name", ALL_ALGORITHMS)
+    def test_parquet(self, name, loaded_warehouse, paper_query,
+                     reference_result):
+        result = algorithm_by_name(name).run(loaded_warehouse, paper_query)
+        assert result.result.to_rows() == reference_result.to_rows()
+
+    @pytest.mark.parametrize("name", ["zigzag", "db(BF)", "repartition"])
+    def test_text_format(self, name, paper_workload, paper_query,
+                         reference_result):
+        warehouse = build_test_warehouse(paper_workload, format_name="text")
+        result = algorithm_by_name(name).run(warehouse, paper_query)
+        assert result.result.to_rows() == reference_result.to_rows()
+
+
+class TestEdgeWorkloads:
+    def run_all(self, spec):
+        workload = generate_workload(spec)
+        query = build_paper_query(workload)
+        warehouse = build_test_warehouse(workload)
+        reference = reference_join(
+            workload.t_table, workload.l_table, query
+        )
+        for name in ALL_ALGORITHMS:
+            result = algorithm_by_name(name).run(warehouse, query)
+            assert result.result.to_rows() == reference.to_rows(), name
+        return reference
+
+    def test_highly_selective_both_sides(self):
+        self.run_all(WorkloadSpec(
+            sigma_t=0.01, sigma_l=0.01, s_l=0.5,
+            t_rows=20_000, l_rows=100_000, n_keys=200, seed=7,
+        ))
+
+    def test_nearly_unselective(self):
+        self.run_all(WorkloadSpec(
+            sigma_t=0.9, sigma_l=0.9, s_t=0.9, s_l=0.9,
+            t_rows=5_000, l_rows=30_000, n_keys=100, seed=8,
+        ))
+
+    def test_tiny_tables_many_workers(self):
+        """Fewer rows than workers: empty partitions everywhere."""
+        self.run_all(WorkloadSpec(
+            sigma_t=0.5, sigma_l=0.5, s_t=0.5, s_l=0.5,
+            t_rows=40, l_rows=80, n_keys=10, seed=9,
+        ))
+
+    def test_single_join_key(self):
+        self.run_all(WorkloadSpec(
+            sigma_t=0.5, sigma_l=0.5, s_t=1.0, s_l=1.0,
+            t_rows=500, l_rows=1_000, n_keys=1, seed=10,
+        ))
+
+
+class TestPropertyBasedEquivalence:
+    @given(
+        sigma_t=st.sampled_from([0.05, 0.1, 0.3, 0.8]),
+        sigma_l=st.sampled_from([0.05, 0.2, 0.5]),
+        s_l=st.sampled_from([0.1, 0.3, 0.7]),
+        seed=st.integers(0, 10_000),
+        name=st.sampled_from(ALL_ALGORITHMS),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_workloads(self, sigma_t, sigma_l, s_l, seed, name):
+        from hypothesis import assume
+
+        from repro.errors import WorkloadError
+
+        spec = WorkloadSpec(
+            sigma_t=sigma_t, sigma_l=sigma_l, s_l=s_l,
+            t_rows=2_000, l_rows=8_000, n_keys=64, n_urls=40, seed=seed,
+        )
+        try:
+            workload = generate_workload(spec)
+        except WorkloadError:
+            assume(False)  # explicitly-rejected infeasible combination
+            return
+        query = build_paper_query(workload)
+        warehouse = build_test_warehouse(workload)
+        reference = reference_join(
+            workload.t_table, workload.l_table, query
+        )
+        result = algorithm_by_name(name).run(warehouse, query)
+        assert result.result.to_rows() == reference.to_rows()
+
+
+class TestAsymmetricClusters:
+    """Correctness when the two clusters have unequal worker counts —
+    exercises the grouped-ingest and routing paths for m != n."""
+
+    @pytest.mark.parametrize("db_workers,db_servers,hdfs_nodes", [
+        (10, 2, 30),   # fewer DB workers than JEN workers
+        (30, 5, 8),    # more DB workers than JEN workers
+        (7, 7, 13),    # odd, coprime counts
+    ])
+    def test_all_algorithms_on_odd_clusters(self, db_workers, db_servers,
+                                            hdfs_nodes):
+        from repro import HybridWarehouse, default_config
+        from repro.config import ClusterConfig
+        from dataclasses import replace
+
+        spec = WorkloadSpec(
+            sigma_t=0.2, sigma_l=0.3, s_l=0.3,
+            t_rows=4_000, l_rows=20_000, n_keys=80, seed=21,
+        )
+        workload = generate_workload(spec)
+        query = build_paper_query(workload)
+        config = replace(
+            default_config(scale=1 / 50_000),
+            cluster=ClusterConfig(
+                db_workers=db_workers,
+                db_servers=db_servers,
+                hdfs_nodes=hdfs_nodes,
+            ),
+        )
+        warehouse = HybridWarehouse(config)
+        warehouse.load_db_table("T", workload.t_table, "uniqKey")
+        warehouse.load_hdfs_table("L", workload.l_table, "parquet")
+        reference = reference_join(
+            workload.t_table, workload.l_table, query
+        )
+        for name in ALL_ALGORITHMS:
+            result = algorithm_by_name(name).run(warehouse, query)
+            assert result.result.to_rows() == reference.to_rows(), name

@@ -1,0 +1,126 @@
+"""Unit tests for the network topology and transfer-pattern math."""
+
+import pytest
+
+from repro.config import ClusterConfig, MB
+from repro.errors import SimulationError
+from repro.net.topology import Cluster, HybridTopology, default_topology
+from repro.net.transfer import (
+    TransferPattern,
+    broadcast_volume,
+    grouped_assignment,
+    parallel_transfer_seconds,
+    shuffle_seconds,
+)
+
+
+@pytest.fixture
+def topology():
+    return default_topology(ClusterConfig())
+
+
+class TestTopology:
+    def test_default_matches_paper(self, topology):
+        assert topology.hdfs.nodes == 30
+        assert topology.database.nodes == 5  # servers share 10 Gbit NICs
+        assert topology.switch_bytes_per_s == 2500 * MB
+
+    def test_invalid_cluster(self):
+        with pytest.raises(SimulationError):
+            Cluster("x", 0, 1.0)
+        with pytest.raises(SimulationError):
+            Cluster("x", 1, 0.0)
+
+    def test_inter_cluster_bottleneck_is_min(self, topology):
+        # 30 HDFS senders at 125 MB/s = 3750 MB/s, capped by the 20 Gbit
+        # switch at 2500 MB/s.
+        bandwidth = topology.inter_cluster_bandwidth(30, 5, "hdfs")
+        assert bandwidth == pytest.approx(2500 * MB)
+
+    def test_few_senders_become_bottleneck(self, topology):
+        bandwidth = topology.inter_cluster_bandwidth(2, 5, "hdfs")
+        assert bandwidth == pytest.approx(2 * 125 * MB)
+
+    def test_db_side_sender(self, topology):
+        bandwidth = topology.inter_cluster_bandwidth(5, 30, "db")
+        assert bandwidth == pytest.approx(2500 * MB)
+
+    def test_bad_sender_side(self, topology):
+        with pytest.raises(SimulationError):
+            topology.inter_cluster_bandwidth(1, 1, "mainframe")
+
+
+class TestGroupedAssignment:
+    def test_even_groups(self):
+        groups = grouped_assignment(30, 30)
+        assert len(groups) == 30
+        assert all(len(g) == 1 for g in groups)
+
+    def test_more_jen_than_db(self):
+        groups = grouped_assignment(30, 10)
+        assert len(groups) == 10
+        assert sorted(len(g) for g in groups) == [3] * 10
+        flattened = [w for g in groups for w in g]
+        assert sorted(flattened) == list(range(30))
+
+    def test_more_db_than_jen(self):
+        groups = grouped_assignment(4, 10)
+        assert len(groups) == 10
+        assert all(len(g) == 1 for g in groups)
+
+    def test_invalid_counts(self):
+        with pytest.raises(SimulationError):
+            grouped_assignment(0, 1)
+
+
+class TestBroadcastVolume:
+    def test_direct_multiplies(self):
+        assert broadcast_volume(100.0, 30) == 3000.0
+
+    def test_relay_crosses_once(self):
+        assert broadcast_volume(
+            100.0, 30, TransferPattern.BROADCAST_RELAY
+        ) == 100.0
+
+    def test_non_broadcast_pattern_rejected(self):
+        with pytest.raises(SimulationError):
+            broadcast_volume(1.0, 2, TransferPattern.GROUPED_INGEST)
+
+
+class TestTransferSeconds:
+    def test_zero_volume(self, topology):
+        assert parallel_transfer_seconds(0, topology, 30, 5, "hdfs") == 0.0
+
+    def test_negative_volume_rejected(self, topology):
+        with pytest.raises(SimulationError):
+            parallel_transfer_seconds(-1, topology, 30, 5, "hdfs")
+
+    def test_endpoint_cap_applies(self, topology):
+        slow = parallel_transfer_seconds(
+            2500 * MB, topology, 30, 5, "hdfs",
+            per_endpoint_bytes_per_s=1 * MB,
+        )
+        fast = parallel_transfer_seconds(2500 * MB, topology, 30, 5, "hdfs")
+        assert fast == pytest.approx(1.0)
+        assert slow == pytest.approx(2500 / 30)
+
+
+class TestShuffle:
+    def test_zero_and_negative(self, topology):
+        assert shuffle_seconds(0, topology, 30, 1 * MB) == 0.0
+        with pytest.raises(SimulationError):
+            shuffle_seconds(-1, topology, 30, 1 * MB)
+
+    def test_local_fraction_excluded(self, topology):
+        # With one worker everything is local: no network time at all.
+        assert shuffle_seconds(10 * MB, topology, 1, 1 * MB) == 0.0
+
+    def test_scales_inversely_with_workers(self, topology):
+        few = shuffle_seconds(2900 * MB, topology, 10, 10 * MB)
+        many = shuffle_seconds(2900 * MB, topology, 29, 10 * MB)
+        assert few > many
+
+    def test_goodput_capped_by_nic(self, topology):
+        capped = shuffle_seconds(1000 * MB, topology, 30, 10_000 * MB)
+        at_nic = shuffle_seconds(1000 * MB, topology, 30, 125 * MB)
+        assert capped == pytest.approx(at_nic)

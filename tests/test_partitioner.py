@@ -1,0 +1,69 @@
+"""Tests for the hash partitioning functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.edw.partitioner import agreed_hash_partition, db_internal_partition
+from repro.errors import PartitioningError
+
+
+class TestBasics:
+    def test_range_of_outputs(self):
+        keys = np.arange(1000)
+        for function in (agreed_hash_partition, db_internal_partition):
+            parts = function(keys, 7)
+            assert parts.min() >= 0 and parts.max() < 7
+
+    def test_deterministic(self):
+        keys = np.arange(100)
+        assert (agreed_hash_partition(keys, 5)
+                == agreed_hash_partition(keys, 5)).all()
+
+    def test_invalid_partition_count(self):
+        for function in (agreed_hash_partition, db_internal_partition):
+            with pytest.raises(PartitioningError):
+                function(np.array([1]), 0)
+
+    def test_single_partition(self):
+        parts = agreed_hash_partition(np.arange(50), 1)
+        assert (parts == 0).all()
+
+    def test_two_functions_differ(self):
+        """The DB's private hash must not equal the agreed hash — the
+        paper's DB-side join reshuffles precisely because JEN cannot
+        target the private function."""
+        keys = np.arange(2000)
+        agreed = agreed_hash_partition(keys, 16)
+        internal = db_internal_partition(keys, 16)
+        assert (agreed != internal).any()
+        # And they should disagree on a substantial fraction.
+        assert float((agreed != internal).mean()) > 0.5
+
+    def test_roughly_uniform(self):
+        keys = np.arange(30_000)
+        for function in (agreed_hash_partition, db_internal_partition):
+            parts = function(keys, 10)
+            counts = np.bincount(parts, minlength=10)
+            assert counts.min() > 2400 and counts.max() < 3600
+
+
+class TestProperties:
+    @given(
+        keys=st.lists(st.integers(0, 2**40), min_size=1, max_size=300),
+        parts=st.integers(1, 40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_same_key_same_partition(self, keys, parts):
+        array = np.array(keys + keys, dtype=np.int64)
+        assignments = agreed_hash_partition(array, parts)
+        half = len(keys)
+        assert (assignments[:half] == assignments[half:]).all()
+
+    @given(parts=st.integers(1, 64))
+    @settings(max_examples=30, deadline=None)
+    def test_all_outputs_in_range(self, parts):
+        keys = np.arange(500, dtype=np.int64)
+        assignments = db_internal_partition(keys, parts)
+        assert ((assignments >= 0) & (assignments < parts)).all()

@@ -1,0 +1,123 @@
+"""Tests for predicate fragments and the read_hdfs UDF (paper §4.1.1)."""
+
+import numpy as np
+import pytest
+
+from repro.relational.expressions import TruePredicate
+from repro.sql.lexer import SqlError
+from repro.sql.predicates import predicate_from_sql
+from repro.workload.scenario import log_schema
+
+
+class TestPredicateFragments:
+    def test_empty_fragment_is_true(self):
+        predicate = predicate_from_sql("", log_schema())
+        assert isinstance(predicate, TruePredicate)
+
+    def test_simple_conjunction(self, paper_workload):
+        predicate = predicate_from_sql(
+            "corPred <= 1000 AND indPred <= 500000", log_schema()
+        )
+        mask = predicate.evaluate(paper_workload.l_table)
+        table = paper_workload.l_table
+        expected = (table.column("corPred") <= 1000) & \
+            (table.column("indPred") <= 500000)
+        assert (mask == expected).all()
+
+    def test_literal_on_left(self, paper_workload):
+        flipped = predicate_from_sql("1000 >= corPred", log_schema())
+        direct = predicate_from_sql("corPred <= 1000", log_schema())
+        table = paper_workload.l_table
+        assert (flipped.evaluate(table) == direct.evaluate(table)).all()
+
+    def test_udf_predicate(self, paper_workload, loaded_warehouse):
+        loaded_warehouse.udfs.register("tens", lambda v: int(v) // 10)
+        predicate = predicate_from_sql(
+            "tens(indPred) <= 100", log_schema(), loaded_warehouse.udfs
+        )
+        table = paper_workload.l_table.slice(0, 500)
+        mask = predicate.evaluate(table)
+        expected = table.column("indPred") // 10 <= 100
+        assert (mask == expected).all()
+
+    def test_unknown_column(self):
+        with pytest.raises(SqlError, match="unknown column"):
+            predicate_from_sql("ghost <= 1", log_schema())
+
+    def test_unknown_udf(self):
+        with pytest.raises(SqlError, match="unknown UDF"):
+            predicate_from_sql("mystery(corPred) <= 1", log_schema())
+
+    def test_column_to_column_rejected(self):
+        with pytest.raises(SqlError, match="literal"):
+            predicate_from_sql("corPred <= indPred", log_schema())
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SqlError, match="trailing"):
+            predicate_from_sql("corPred <= 1 GROUP", log_schema())
+
+
+class TestReadHdfsUdf:
+    def test_registered_on_warehouse(self, loaded_warehouse):
+        assert "read_hdfs" in loaded_warehouse.udfs.names()
+
+    def test_full_read(self, loaded_warehouse, paper_workload):
+        result = loaded_warehouse.udfs.call("read_hdfs", "L")
+        assert result.num_rows == paper_workload.l_table.num_rows
+        assert result.schema.names == paper_workload.l_table.schema.names
+
+    def test_predicate_and_projection_pushdown(self, loaded_warehouse,
+                                               paper_workload):
+        thresholds = paper_workload.l_thresholds
+        result = loaded_warehouse.udfs.call(
+            "read_hdfs", "L",
+            f"corPred <= {thresholds.cor_threshold} AND "
+            f"indPred <= {thresholds.ind_threshold}",
+            "joinKey, predAfterJoin",
+        )
+        assert result.schema.names == ("joinKey", "predAfterJoin")
+        table = paper_workload.l_table
+        expected = (
+            (table.column("corPred") <= thresholds.cor_threshold)
+            & (table.column("indPred") <= thresholds.ind_threshold)
+        ).sum()
+        assert result.num_rows == int(expected)
+
+    def test_bloom_filter_pushdown(self, loaded_warehouse, paper_workload):
+        """The paper's DB-side join with Bloom filter, spelled as UDF
+        calls: cal_filter/get_filter on each worker partition,
+        combine_filter, then read_hdfs with the global filter."""
+        udfs = loaded_warehouse.udfs
+        query_key = "joinKey"
+        bits = loaded_warehouse.config.bloom_bits()
+        local_filters = []
+        for worker in loaded_warehouse.database.workers:
+            partition = worker.partition("T")
+            mask = partition.column("corPred") <= \
+                paper_workload.t_thresholds.cor_threshold
+            keys = partition.column(query_key)[mask]
+            local_filters.append(
+                udfs.call("get_filter", udfs.call("cal_filter", keys, bits))
+            )
+        global_filter = udfs.call("combine_filter", local_filters)
+
+        unfiltered = udfs.call("read_hdfs", "L", "", "joinKey")
+        filtered = udfs.call(
+            "read_hdfs", "L", "", "joinKey", global_filter, query_key
+        )
+        assert filtered.num_rows < unfiltered.num_rows
+        # No joinable row may be lost.
+        t_mask = paper_workload.t_table.column("corPred") <= \
+            paper_workload.t_thresholds.cor_threshold
+        t_keys = np.unique(
+            paper_workload.t_table.column(query_key)[t_mask]
+        )
+        kept = np.unique(filtered.column(query_key))
+        joinable = np.intersect1d(
+            t_keys, np.unique(unfiltered.column(query_key))
+        )
+        assert np.isin(joinable, kept).all()
+
+    def test_unknown_table(self, loaded_warehouse):
+        with pytest.raises(Exception):
+            loaded_warehouse.udfs.call("read_hdfs", "ghost")

@@ -1,0 +1,172 @@
+"""Tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.sql.ast import (
+    Aggregate,
+    BinaryOp,
+    ColumnRef,
+    FuncCall,
+    Literal,
+)
+from repro.sql.lexer import SqlError, TokenType, tokenize
+from repro.sql.parser import parse_select
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        tokens = tokenize("SELECT a.b, count(*) FROM t WHERE x <= 10")
+        kinds = [t.type for t in tokens]
+        assert kinds[0] is TokenType.KEYWORD
+        assert kinds[-1] is TokenType.END
+
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select FROM Where")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+
+    def test_multichar_operators(self):
+        tokens = tokenize("a <= b >= c <> d != e")
+        operators = [t.value for t in tokens
+                     if t.type is TokenType.OPERATOR]
+        assert operators == ["<=", ">=", "<>", "!="]
+
+    def test_string_literal(self):
+        tokens = tokenize("region = 'East Coast'")
+        strings = [t for t in tokens if t.type is TokenType.STRING]
+        assert strings[0].value == "East Coast"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlError, match="unterminated"):
+            tokenize("x = 'oops")
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlError, match="unexpected character"):
+            tokenize("a @ b")
+
+    def test_numbers(self):
+        tokens = tokenize("x <= 12 AND y >= 3.5")
+        numbers = [t.value for t in tokens if t.type is TokenType.NUMBER]
+        assert numbers == ["12", "3.5"]
+
+    def test_semicolon_ignored(self):
+        tokens = tokenize("SELECT a FROM t;")
+        assert tokens[-1].type is TokenType.END
+
+
+class TestParser:
+    PAPER_SQL = """
+        SELECT extract_group(L.groupByExtractCol), COUNT(*)
+        FROM T, L
+        WHERE T.corPred <= 17 AND T.indPred <= 42
+          AND L.corPred <= 99 AND L.indPred <= 31
+          AND T.joinKey = L.joinKey
+          AND days(T.predAfterJoin) - days(L.predAfterJoin) >= 0
+          AND days(T.predAfterJoin) - days(L.predAfterJoin) <= 1
+        GROUP BY extract_group(L.groupByExtractCol)
+    """
+
+    def test_paper_query_shape(self):
+        statement = parse_select(self.PAPER_SQL)
+        assert len(statement.tables) == 2
+        assert len(statement.where) == 7
+        assert len(statement.group_by) == 1
+        assert len(statement.select_items) == 2
+        aggregate = statement.select_items[1].expression
+        assert isinstance(aggregate, Aggregate)
+        assert aggregate.function == "count"
+        assert aggregate.argument is None
+
+    def test_qualified_and_bare_columns(self):
+        statement = parse_select(
+            "SELECT a FROM t, l WHERE t.x = l.y AND z <= 1 GROUP BY a"
+        )
+        join = statement.where[0]
+        assert join.left == ColumnRef("t", "x")
+        assert join.right == ColumnRef("l", "y")
+        local = statement.where[1]
+        assert local.left == ColumnRef(None, "z")
+        assert local.right == Literal(1)
+
+    def test_aliases(self):
+        statement = parse_select(
+            "SELECT a AS grp, COUNT(*) AS n FROM t x, l AS y "
+            "WHERE t.k = l.k GROUP BY a"
+        )
+        assert statement.select_items[0].alias == "grp"
+        assert statement.select_items[1].alias == "n"
+        assert statement.tables[0].binding_name() == "x"
+        assert statement.tables[1].binding_name() == "y"
+
+    def test_date_difference_expression(self):
+        statement = parse_select(
+            "SELECT a, COUNT(*) FROM t, l WHERE "
+            "days(t.d) - days(l.d) >= 0 GROUP BY a"
+        )
+        comparison = statement.where[0]
+        assert isinstance(comparison.left, BinaryOp)
+        assert comparison.left.op == "-"
+        assert isinstance(comparison.left.left, FuncCall)
+        assert comparison.left.left.name == "days"
+
+    def test_operator_normalisation(self):
+        statement = parse_select(
+            "SELECT a, COUNT(*) FROM t, l WHERE a = 1 AND b <> 2 "
+            "GROUP BY a"
+        )
+        assert statement.where[0].op == "=="
+        assert statement.where[1].op == "!="
+
+    def test_sum_min_max_avg(self):
+        statement = parse_select(
+            "SELECT g, SUM(v), MIN(v), MAX(v), AVG(v) "
+            "FROM t, l WHERE t.k = l.k GROUP BY g"
+        )
+        functions = [
+            item.expression.function
+            for item in statement.select_items[1:]
+        ]
+        assert functions == ["sum", "min", "max", "avg"]
+
+    def test_or_rejected(self):
+        with pytest.raises(SqlError, match="OR is not supported"):
+            parse_select(
+                "SELECT a, COUNT(*) FROM t, l "
+                "WHERE a = 1 OR b = 2 GROUP BY a"
+            )
+
+    def test_not_rejected(self):
+        with pytest.raises(SqlError, match="NOT is not supported"):
+            parse_select(
+                "SELECT a, COUNT(*) FROM t, l WHERE NOT a = 1 GROUP BY a"
+            )
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SqlError, match="trailing"):
+            parse_select("SELECT a FROM t, l GROUP BY a LIMIT 5 extra")
+
+    def test_order_by_and_limit_parse(self):
+        statement = parse_select(
+            "SELECT a, COUNT(*) FROM t, l WHERE t.k = l.k GROUP BY a "
+            "ORDER BY COUNT(*) DESC, a LIMIT 7"
+        )
+        assert len(statement.order_by) == 2
+        assert statement.order_by[0].descending
+        assert not statement.order_by[1].descending
+        assert statement.limit == 7
+
+    def test_negative_or_float_limit_rejected(self):
+        with pytest.raises(SqlError, match="integer"):
+            parse_select(
+                "SELECT a, COUNT(*) FROM t, l GROUP BY a LIMIT 1.5"
+            )
+
+    def test_missing_comparison_operator(self):
+        with pytest.raises(SqlError, match="comparison operator"):
+            parse_select("SELECT a FROM t, l WHERE a 1 GROUP BY a")
+
+    def test_parenthesised_expression(self):
+        statement = parse_select(
+            "SELECT a, COUNT(*) FROM t, l WHERE (t.d - l.d) <= 1 "
+            "GROUP BY a"
+        )
+        assert isinstance(statement.where[0].left, BinaryOp)

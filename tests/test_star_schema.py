@@ -1,0 +1,170 @@
+"""Tests for in-database pre-joins (star-schema support, paper §2)."""
+
+import numpy as np
+import pytest
+
+from repro import algorithm_by_name, reference_join
+from repro.errors import CatalogError
+from repro.relational.expressions import compare
+from repro.relational.operators import join_tables
+from repro.relational.schema import Column, DataType, Schema
+from repro.relational.table import Table
+from repro.query.query import HybridQuery
+from repro.relational.aggregates import AggregateSpec
+from tests.conftest import build_test_warehouse
+
+
+NUM_PRODUCTS = 200
+
+
+def product_dimension():
+    """A small dimension table living in the database."""
+    schema = Schema([
+        Column("product_id", DataType.INT32),
+        Column("category", DataType.INT32),
+    ])
+    return Table(schema, {
+        "product_id": np.arange(NUM_PRODUCTS, dtype=np.int32),
+        "category": (np.arange(NUM_PRODUCTS) % 10).astype(np.int32),
+    })
+
+
+def fact_table(paper_workload):
+    """The generated T with a product_id foreign key appended."""
+    t = paper_workload.t_table
+    product_ids = (t.column("dummy2") % NUM_PRODUCTS).astype(np.int32)
+    return t.with_column(Column("product_id", DataType.INT32), product_ids)
+
+
+def _reference_star_join(fact, dimension):
+    """Single-node fact-dimension join keeping one key copy."""
+    joined = join_tables(
+        build=dimension.rename({"product_id": "__rhs"}),
+        probe=fact,
+        build_key="__rhs", probe_key="product_id",
+    )
+    return joined.project([
+        name for name in joined.schema.names if name != "__rhs"
+    ])
+
+
+@pytest.fixture()
+def star_warehouse(paper_workload):
+    warehouse = build_test_warehouse(paper_workload)
+    # The generated T is already loaded as "T"; load the starred fact and
+    # the dimension alongside it.
+    warehouse.load_db_table("F", fact_table(paper_workload),
+                            distribute_on="uniqKey")
+    warehouse.load_db_table("P", product_dimension(),
+                            distribute_on="product_id")
+    return warehouse
+
+
+class TestJoinLocal:
+    def test_prejoin_matches_single_node(self, star_warehouse,
+                                         paper_workload):
+        meta, stats = star_warehouse.database.join_local(
+            "F", "P", "product_id", "product_id",
+            result_name="F_enriched",
+            right_predicate=compare("category", "<=", 2),
+            left_projection=["joinKey", "predAfterJoin", "product_id"],
+            right_projection=["category"],
+        )
+        fact = fact_table(paper_workload)
+        dimension = product_dimension()
+        expected = _reference_star_join(
+            fact.project(["joinKey", "predAfterJoin", "product_id"]),
+            dimension.filter(
+                compare("category", "<=", 2).evaluate(dimension)
+            ),
+        )
+        assert meta.num_rows == expected.num_rows
+        assert stats.result_rows == expected.num_rows
+        gathered = star_warehouse.gather_db_table("F_enriched")
+        assert sorted(gathered.to_rows()) == sorted(expected.to_rows())
+
+    def test_duplicate_result_name(self, star_warehouse):
+        star_warehouse.database.join_local(
+            "F", "P", "product_id", "product_id", result_name="X",
+            left_projection=["joinKey"], right_projection=["category"],
+        )
+        with pytest.raises(CatalogError, match="already exists"):
+            star_warehouse.database.join_local(
+                "F", "P", "product_id", "product_id", result_name="X",
+                left_projection=["joinKey"],
+                right_projection=["category"],
+            )
+
+    def test_key_appended_to_projection(self, star_warehouse):
+        meta, _stats = star_warehouse.database.join_local(
+            "F", "P", "product_id", "product_id",
+            result_name="keyless",
+            left_projection=["joinKey"],       # no product_id given
+            right_projection=["category"],
+        )
+        assert meta.schema.has_column("product_id")
+
+    def test_register_partitioned_table_validates(self, star_warehouse):
+        with pytest.raises(CatalogError, match="partitions"):
+            star_warehouse.database.register_partitioned_table(
+                "bad", [], distribute_on="x"
+            )
+
+
+class TestStarHybridJoin:
+    def test_hybrid_join_over_derived_fact(self, star_warehouse,
+                                           paper_workload, paper_query):
+        """Pre-join F with P in the database, then run the hybrid join
+        against the click log — and cross-check against a single-node
+        computation of the whole three-table query."""
+        database = star_warehouse.database
+        database.join_local(
+            "F", "P", "product_id", "product_id",
+            result_name="F2",
+            right_predicate=compare("category", "<=", 2),
+            left_projection=["joinKey", "predAfterJoin", "corPred",
+                             "indPred"],
+            right_projection=["category"],
+        )
+        from dataclasses import replace
+        query = replace(paper_query, db_table="F2")
+        result = algorithm_by_name("zigzag").run(star_warehouse, query)
+
+        # Single-node three-table reference.
+        fact = fact_table(paper_workload)
+        dimension = product_dimension()
+        enriched = _reference_star_join(
+            fact.project(
+                ["joinKey", "predAfterJoin", "corPred", "indPred",
+                 "product_id"]
+            ),
+            dimension.filter(
+                compare("category", "<=", 2).evaluate(dimension)
+            ),
+        )
+        reference = reference_join(
+            enriched, paper_workload.l_table, query
+        )
+        assert result.result.to_rows() == reference.to_rows()
+
+    def test_all_algorithms_agree_on_star(self, star_warehouse,
+                                          paper_query):
+        database = star_warehouse.database
+        database.join_local(
+            "F", "P", "product_id", "product_id",
+            result_name="F3",
+            right_predicate=compare("category", "==", 4),
+            left_projection=["joinKey", "predAfterJoin", "corPred",
+                             "indPred"],
+            right_projection=[],
+        )
+        from dataclasses import replace
+        query = replace(paper_query, db_table="F3")
+        baseline = None
+        for name in ("zigzag", "repartition(BF)", "db(BF)", "broadcast"):
+            rows = algorithm_by_name(name).run(
+                star_warehouse, query
+            ).result.to_rows()
+            if baseline is None:
+                baseline = rows
+            assert rows == baseline, name

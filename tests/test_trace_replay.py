@@ -1,0 +1,204 @@
+"""Tests for execution traces and their DES replay semantics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.replay import replay_trace
+from repro.sim.trace import Trace
+
+
+def linear_trace(*durations):
+    trace = Trace("linear")
+    previous = None
+    for index, duration in enumerate(durations):
+        trace.add(f"p{index}", "cpu", duration,
+                  after=[previous] if previous else [])
+        previous = f"p{index}"
+    return trace
+
+
+class TestTraceConstruction:
+    def test_duplicate_phase_rejected(self):
+        trace = Trace()
+        trace.add("a", "cpu", 1.0)
+        with pytest.raises(SimulationError, match="duplicate"):
+            trace.add("a", "cpu", 1.0)
+
+    def test_unknown_dependency_rejected(self):
+        trace = Trace()
+        with pytest.raises(SimulationError, match="unknown phase"):
+            trace.add("a", "cpu", 1.0, after=["ghost"])
+
+    def test_negative_duration_rejected(self):
+        trace = Trace()
+        with pytest.raises(SimulationError, match="negative"):
+            trace.add("a", "cpu", -1.0)
+
+    def test_lookup_and_names(self):
+        trace = linear_trace(1, 2)
+        assert trace.phase("p1").seconds == 2
+        assert trace.names() == ["p0", "p1"]
+        with pytest.raises(SimulationError):
+            trace.phase("nope")
+
+    def test_total_work(self):
+        assert linear_trace(1, 2, 3).total_work_seconds() == 6
+
+    def test_describe_mentions_phases(self):
+        text = linear_trace(1, 2).describe()
+        assert "p0" in text and "p1" in text
+
+
+class TestReplaySemantics:
+    def test_sequential_chain_sums(self):
+        result = replay_trace(linear_trace(10, 20, 5))
+        assert result.total_seconds == pytest.approx(35, rel=1e-6)
+
+    def test_independent_phases_overlap(self):
+        trace = Trace()
+        trace.add("a", "cpu", 10)
+        trace.add("b", "cpu", 4)
+        result = replay_trace(trace)
+        assert result.total_seconds == pytest.approx(10)
+
+    def test_streaming_consumer_faster_than_producer(self):
+        """A fast consumer of a streamed producer ends just after it."""
+        trace = Trace()
+        trace.add("producer", "scan", 100)
+        trace.add("consumer", "shuffle", 10, streams_from=["producer"])
+        result = replay_trace(trace)
+        assert result.total_seconds == pytest.approx(100, rel=0.03)
+
+    def test_streaming_consumer_slower_than_producer(self):
+        trace = Trace()
+        trace.add("producer", "scan", 10)
+        trace.add("consumer", "shuffle", 100, streams_from=["producer"])
+        result = replay_trace(trace)
+        assert result.total_seconds == pytest.approx(100, rel=0.03)
+
+    def test_pipelining_off_serialises_stream_edges(self):
+        trace = Trace()
+        trace.add("producer", "scan", 50)
+        trace.add("consumer", "shuffle", 50, streams_from=["producer"])
+        pipelined = replay_trace(trace, pipelining=True)
+        materialised = replay_trace(trace, pipelining=False)
+        assert pipelined.total_seconds == pytest.approx(50, rel=0.05)
+        assert materialised.total_seconds == pytest.approx(100, rel=1e-6)
+
+    def test_barrier_blocks_until_finish(self):
+        trace = Trace()
+        trace.add("scan", "scan", 30)
+        trace.add("bloom", "bloom", 1, after=["scan"])
+        trace.add("export", "transfer", 5, after=["bloom"])
+        result = replay_trace(trace)
+        assert result.total_seconds == pytest.approx(36)
+        assert result.phase("export").start == pytest.approx(31)
+
+    def test_zero_duration_phase(self):
+        trace = Trace()
+        trace.add("a", "cpu", 0.0)
+        trace.add("b", "cpu", 1.0, after=["a"])
+        assert replay_trace(trace).total_seconds == pytest.approx(1.0)
+
+    def test_phase_timings_recorded(self):
+        result = replay_trace(linear_trace(2, 3))
+        assert result.phase("p0").elapsed == pytest.approx(2)
+        assert result.phase("p1").start == pytest.approx(2)
+        with pytest.raises(SimulationError):
+            result.phase("ghost")
+
+    def test_invalid_chunk_count(self):
+        with pytest.raises(SimulationError):
+            replay_trace(linear_trace(1), chunks=0)
+
+    def test_breakdown_report(self):
+        text = replay_trace(linear_trace(1, 2)).breakdown()
+        assert "p0" in text and "->" in text
+
+
+class TestReplayProperties:
+    @given(durations=st.lists(
+        st.floats(0, 100, allow_nan=False), min_size=1, max_size=8,
+    ))
+    @settings(max_examples=40, deadline=None)
+    def test_makespan_bounds(self, durations):
+        """Makespan of any chain equals the sum; of any fan-out, the max."""
+        chain = replay_trace(linear_trace(*durations))
+        assert chain.total_seconds == pytest.approx(
+            sum(durations), rel=1e-6, abs=1e-6
+        )
+        fan = Trace()
+        for index, duration in enumerate(durations):
+            fan.add(f"p{index}", "cpu", duration)
+        fanned = replay_trace(fan)
+        assert fanned.total_seconds == pytest.approx(
+            max(durations), rel=1e-6, abs=1e-6
+        )
+
+    @given(
+        producer=st.floats(0.1, 50, allow_nan=False),
+        consumer=st.floats(0.1, 50, allow_nan=False),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_stream_pair_close_to_max(self, producer, consumer):
+        """A streamed pair's makespan approximates max(p, c) and the
+        pipelined run never beats max nor exceeds the serialised sum."""
+        trace = Trace()
+        trace.add("p", "scan", producer)
+        trace.add("c", "cpu", consumer, streams_from=["p"])
+        total = replay_trace(trace).total_seconds
+        lower = max(producer, consumer)
+        assert lower - 1e-9 <= total <= producer + consumer + 1e-9
+        assert total <= lower * 1.05 + 1e-6
+
+
+class TestCriticalPath:
+    def test_linear_chain_is_whole_chain(self):
+        trace = linear_trace(5, 10, 2)
+        timing = replay_trace(trace)
+        assert timing.critical_path(trace) == ["p0", "p1", "p2"]
+
+    def test_fan_picks_slow_branch(self):
+        trace = Trace()
+        trace.add("fast", "cpu", 1)
+        trace.add("slow", "cpu", 100)
+        trace.add("sink", "cpu", 1, after=["fast", "slow"])
+        timing = replay_trace(trace)
+        assert timing.critical_path(trace) == ["slow", "sink"]
+
+    def test_stream_producer_on_path_when_gating(self):
+        trace = Trace()
+        trace.add("scan", "scan", 100)
+        trace.add("shuffle", "shuffle", 5, streams_from=["scan"])
+        timing = replay_trace(trace)
+        assert timing.critical_path(trace) == ["scan", "shuffle"]
+
+    def test_early_dependency_not_on_path(self):
+        trace = Trace()
+        trace.add("prep", "cpu", 1)
+        trace.add("long", "cpu", 50, after=["prep"])
+        timing = replay_trace(trace)
+        path = timing.critical_path(trace)
+        # prep finished at t=1 and long ran 50s on its own: both are on
+        # the chain because prep gated long's start.
+        assert path == ["prep", "long"]
+
+    def test_without_trace_returns_terminal(self):
+        trace = linear_trace(1, 2)
+        timing = replay_trace(trace)
+        assert timing.critical_path() == ["p1"]
+
+    def test_zigzag_critical_path_is_sensible(self, loaded_warehouse,
+                                              paper_query):
+        from repro import algorithm_by_name
+
+        result = algorithm_by_name("zigzag").run(
+            loaded_warehouse, paper_query
+        )
+        path = result.critical_path()
+        assert path[-1] == "result_return"
+        # The makespan chain must pass through the HDFS scan or the
+        # database export — the two physical bottlenecks.
+        assert any(name in path for name in ("hdfs_scan", "db_export"))
