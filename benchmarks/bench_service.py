@@ -1,0 +1,121 @@
+"""Service-plane benchmarks: throughput and tail latency vs concurrency.
+
+Replays the same repeated-template query stream through the
+:class:`~repro.service.server.QueryService` at increasing admission
+concurrency and reports, per setting:
+
+* completed queries per simulated minute (throughput);
+* p50/p95/p99 submission-to-answer latency (simulated seconds);
+* Bloom-filter and result cache hit rates.
+
+The stream is replayed twice per setting — the second pass answers
+from the result cache, which is exactly the repeated-dashboard
+workload semantic caching exists for.  Reports are persisted to
+``benchmarks/results/service_slots<N>.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    HybridWarehouse,
+    WorkloadSpec,
+    default_config,
+    generate_workload,
+)
+from repro.service import (
+    AdmissionConfig,
+    QueryService,
+    ServiceConfig,
+    StreamSpec,
+    generate_query_stream,
+)
+
+#: Same materialised scale as the test suite: 1/50,000 of the paper.
+SCALE = 1.0 / 50_000.0
+STREAM = StreamSpec(num_queries=12, templates=3, arrival_gap=5.0,
+                    tenants=2, seed=7, best_effort_fraction=0.0)
+
+
+@pytest.fixture(scope="module")
+def service_setup():
+    workload = generate_workload(WorkloadSpec(
+        sigma_t=0.1, sigma_l=0.4, s_t=0.2, s_l=0.1,
+        t_rows=32_000, l_rows=300_000, n_keys=320, n_urls=120, seed=42,
+    ))
+    warehouse = HybridWarehouse(default_config(scale=SCALE))
+    warehouse.load_db_table("T", workload.t_table, distribute_on="uniqKey")
+    warehouse.database.create_index("T", "idx_pred",
+                                    ["corPred", "indPred"])
+    warehouse.database.create_index(
+        "T", "idx_bloom", ["corPred", "indPred", "joinKey"]
+    )
+    warehouse.load_hdfs_table("L", workload.l_table, "parquet")
+    return warehouse, workload
+
+
+def _submit_stream(service, workload):
+    for item in generate_query_stream(workload, STREAM):
+        service.submit(item.query, tenant=item.tenant, at=item.at,
+                       priority=item.priority)
+
+
+def _replay(warehouse, workload, slots):
+    """Two passes of the stream: cold data plane, then warm caches."""
+    service = QueryService(warehouse, ServiceConfig(
+        admission=AdmissionConfig(slots=slots, max_queue=64,
+                                  queue_timeout=1e6, shed_fraction=None),
+    ))
+    _submit_stream(service, workload)
+    cold = service.drain()
+    _submit_stream(service, workload)
+    warm = service.drain()
+    return service, cold, warm
+
+
+def _report_lines(slots, service, cold, warm):
+    latency = cold.metrics.get("service.latency_seconds")
+    return [
+        f"service stream: {STREAM.num_queries} queries, "
+        f"{STREAM.templates} templates, {STREAM.tenants} tenants, "
+        f"slots={slots}",
+        f"  cold pass: {len(cold.completed())} completed, "
+        f"{len(cold.rejected())} rejected in {cold.makespan:.1f}s "
+        f"(throughput {cold.throughput() * 60:.2f} q/min; "
+        f"serial sum {cold.serial_seconds():.1f}s)",
+        f"  latency:   p50={latency.p50:.1f}s p95={latency.p95:.1f}s "
+        f"p99={latency.p99:.1f}s",
+        f"  warm pass: {len(warm.completed())} completed in "
+        f"{warm.makespan:.1f}s (result cache)",
+        f"  caches:    result hit rate "
+        f"{service.result_cache.hit_rate():.2f}, bloom hit rate "
+        f"{service.bloom_builder.cache.hit_rate():.2f}",
+        f"  feedback:  {service.feedback.observations} observations, "
+        f"{service.feedback.known_plans()} known plans",
+    ]
+
+
+@pytest.mark.parametrize("slots", [1, 4, 8])
+def test_stream_vs_concurrency(benchmark, service_setup, results_dir,
+                               slots):
+    warehouse, workload = service_setup
+    service, cold, warm = benchmark.pedantic(
+        lambda: _replay(warehouse, workload, slots),
+        rounds=1, iterations=1,
+    )
+    report = "\n".join(_report_lines(slots, service, cold, warm))
+    (results_dir / f"service_slots{slots}.txt").write_text(report + "\n")
+    print()
+    print(report)
+
+    assert len(cold.completed()) == STREAM.num_queries
+    assert len(warm.completed()) == STREAM.num_queries
+    latency = cold.metrics.get("service.latency_seconds")
+    assert latency.p99 >= latency.p95 >= latency.p50 > 0
+    # The repeated-template stream must actually hit both caches.
+    assert service.result_cache.hit_rate() > 0
+    assert service.bloom_builder.cache.hit_rate() > 0
+    if slots > 1:
+        # Concurrency must genuinely overlap resource classes.
+        assert cold.makespan < cold.serial_seconds()

@@ -49,6 +49,7 @@ from repro.core import (
     RepartitionJoin,
     ZigzagJoin,
     algorithm_by_name,
+    valid_algorithm_names,
 )
 from repro.core.advisor import WorkloadEstimate
 from repro.query import (
@@ -56,6 +57,13 @@ from repro.query import (
     SelectivityReport,
     measure_selectivities,
     reference_join,
+)
+from repro.service import (
+    AdmissionConfig,
+    QueryService,
+    ServiceConfig,
+    StreamSpec,
+    generate_query_stream,
 )
 from repro.sql import SqlResult, SqlSession
 from repro.warehouse import HybridWarehouse
@@ -70,6 +78,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ALGORITHMS",
+    "AdmissionConfig",
     "AdvisorDecision",
     "BloomFilter",
     "BloomFilterConfig",
@@ -85,10 +94,13 @@ __all__ = [
     "JoinResult",
     "JoinStats",
     "PaperScale",
+    "QueryService",
     "RepartitionJoin",
     "SelectivityReport",
+    "ServiceConfig",
     "SqlResult",
     "SqlSession",
+    "StreamSpec",
     "Workload",
     "WorkloadEstimate",
     "WorkloadSpec",
@@ -96,8 +108,10 @@ __all__ = [
     "algorithm_by_name",
     "build_paper_query",
     "default_config",
+    "generate_query_stream",
     "generate_workload",
     "measure_selectivities",
+    "valid_algorithm_names",
     "reference_join",
     "__version__",
 ]

@@ -5,6 +5,7 @@ Usage::
     python -m repro demo                      # quick end-to-end tour
     python -m repro sql "SELECT ..."          # run SQL on a demo warehouse
     python -m repro sql --algorithm zigzag -f query.sql
+    python -m repro serve --queries 24 --slots 8  # concurrent stream
     python -m repro advise --sigma-t 0.1 --sigma-l 0.2
     python -m repro experiments [ids...]      # same as python -m repro.bench
 
@@ -26,7 +27,9 @@ from repro import (
     algorithm_by_name,
     default_config,
     generate_workload,
+    valid_algorithm_names,
 )
+from repro.errors import JoinError, ServiceError
 from repro.sql import SqlSession
 from repro.workload import build_paper_query
 
@@ -72,6 +75,14 @@ def _cmd_sql(args) -> int:
     else:
         print("provide a query string or --file", file=sys.stderr)
         return 2
+    if args.algorithm != "auto":
+        try:
+            algorithm_by_name(args.algorithm)
+        except JoinError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            print("valid algorithms: auto, "
+                  + ", ".join(valid_algorithm_names()), file=sys.stderr)
+            return 2
     warehouse, _workload = _demo_warehouse()
     session = SqlSession(warehouse)
     result = session.execute(sql, algorithm=args.algorithm)
@@ -86,6 +97,46 @@ def _cmd_sql(args) -> int:
     remaining = result.table.num_rows - args.limit
     if remaining > 0:
         print(f"... {remaining} more rows")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.service import (
+        AdmissionConfig,
+        QueryService,
+        ServiceConfig,
+        StreamSpec,
+        generate_query_stream,
+    )
+
+    try:
+        spec = StreamSpec(
+            num_queries=args.queries, templates=args.templates,
+            arrival_gap=args.arrival_gap, tenants=args.tenants,
+            seed=args.seed,
+        )
+        config = ServiceConfig(admission=AdmissionConfig(slots=args.slots))
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.algorithm != "auto":
+        try:
+            algorithm_by_name(args.algorithm)
+        except JoinError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            print("valid algorithms: auto, "
+                  + ", ".join(valid_algorithm_names()), file=sys.stderr)
+            return 2
+    warehouse, workload = _demo_warehouse()
+    service = QueryService(warehouse, config)
+    for item in generate_query_stream(workload, spec):
+        service.submit(item.query, tenant=item.tenant, at=item.at,
+                       algorithm=args.algorithm, priority=item.priority)
+    print(f"replaying {args.queries} queries "
+          f"({args.templates} templates, {args.tenants} tenants, "
+          f"{args.slots} admission slots)\n")
+    report = service.drain()
+    print(report.render())
     return 0
 
 
@@ -160,6 +211,22 @@ def main(argv=None) -> int:
     sql_parser.add_argument("--limit", type=int, default=20,
                             help="result rows to print")
 
+    serve_parser = subparsers.add_parser(
+        "serve", help="replay a concurrent query stream through the "
+                      "service plane"
+    )
+    serve_parser.add_argument("--queries", type=int, default=24,
+                              help="stream length")
+    serve_parser.add_argument("--templates", type=int, default=4,
+                              help="distinct query templates")
+    serve_parser.add_argument("--tenants", type=int, default=2)
+    serve_parser.add_argument("--slots", type=int, default=8,
+                              help="admission slots (max in-flight)")
+    serve_parser.add_argument("--arrival-gap", type=float, default=5.0,
+                              help="simulated seconds between arrivals")
+    serve_parser.add_argument("--algorithm", default="auto")
+    serve_parser.add_argument("--seed", type=int, default=11)
+
     advise_parser = subparsers.add_parser(
         "advise", help="rank the algorithms for estimated selectivities"
     )
@@ -196,6 +263,7 @@ def main(argv=None) -> int:
     handlers = {
         "demo": _cmd_demo,
         "sql": _cmd_sql,
+        "serve": _cmd_serve,
         "advise": _cmd_advise,
         "sweep": _cmd_sweep,
         "experiments": _cmd_experiments,

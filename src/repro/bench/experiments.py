@@ -12,10 +12,10 @@ not asserted.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.bench.harness import WarehouseCache, run_algorithms
-from repro.bench.reporting import format_rows, format_series
+from repro.bench.reporting import format_rows
 from repro.errors import ReproError
 
 

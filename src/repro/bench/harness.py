@@ -10,7 +10,7 @@ default to a smaller data plane than the tests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.config import HybridConfig, default_config

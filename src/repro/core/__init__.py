@@ -19,6 +19,7 @@ from repro.core.joins import (
     RepartitionJoin,
     ZigzagJoin,
     algorithm_by_name,
+    valid_algorithm_names,
 )
 from repro.core.advisor import AdvisorDecision, JoinAdvisor
 
@@ -35,4 +36,5 @@ __all__ = [
     "RepartitionJoin",
     "ZigzagJoin",
     "algorithm_by_name",
+    "valid_algorithm_names",
 ]

@@ -51,8 +51,14 @@ class AdvisorDecision:
     rationale: str
 
     def ranking(self) -> List[Tuple[str, float]]:
-        """Algorithms from fastest to slowest estimate."""
-        return sorted(self.estimated_seconds.items(), key=lambda kv: kv[1])
+        """Algorithms from fastest to slowest estimate.
+
+        Cost ties break on the algorithm name, so the ranking (and
+        anything that consumes it, like the ``advise`` CLI output) is
+        deterministic regardless of dict insertion order.
+        """
+        return sorted(self.estimated_seconds.items(),
+                      key=lambda kv: (kv[1], kv[0]))
 
 
 class JoinAdvisor:
@@ -76,9 +82,9 @@ class JoinAdvisor:
         }
 
     def decide(self, est: WorkloadEstimate) -> AdvisorDecision:
-        """Pick the cheapest algorithm and explain it."""
+        """Pick the cheapest algorithm (ties on name) and explain it."""
         estimates = self.estimate_all(est)
-        best = min(estimates, key=estimates.get)
+        best = min(estimates, key=lambda name: (estimates[name], name))
         rationale = self._rationale(est, best)
         return AdvisorDecision(
             best=best, estimated_seconds=estimates, rationale=rationale

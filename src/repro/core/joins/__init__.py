@@ -21,6 +21,7 @@ from repro.core.joins.base import (
     JoinStats,
     algorithm_by_name,
     register_algorithm,
+    valid_algorithm_names,
 )
 from repro.core.joins.db_side import DbSideJoin
 from repro.core.joins.broadcast import BroadcastJoin
@@ -43,4 +44,5 @@ __all__ = [
     "ZigzagJoin",
     "algorithm_by_name",
     "register_algorithm",
+    "valid_algorithm_names",
 ]

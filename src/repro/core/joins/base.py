@@ -9,8 +9,9 @@ paper's Table 1 numbers) and the simulated timing (the paper's figures).
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, fields
-from typing import Dict, List, Optional, Type
+from typing import Dict, List, Type
 
 from repro.errors import JoinError
 from repro.relational.table import Table
@@ -269,13 +270,29 @@ def register_algorithm(cls: Type[JoinAlgorithm]) -> Type[JoinAlgorithm]:
     return cls
 
 
+def valid_algorithm_names() -> List[str]:
+    """Every name :func:`algorithm_by_name` accepts, sorted.
+
+    The plain registry names plus the paper's ``(BF)`` convention for
+    the algorithms that take an optional Bloom filter.
+    """
+    names = list(ALGORITHMS)
+    for name, cls in ALGORITHMS.items():
+        if "use_bloom" in inspect.signature(cls).parameters:
+            names.append(f"{name}(BF)")
+    return sorted(names)
+
+
 def algorithm_by_name(name: str, **kwargs) -> JoinAlgorithm:
     """Instantiate a registered algorithm.
 
     Accepts the plain names plus the paper's ``(BF)`` suffix convention:
     ``"repartition(BF)"`` and ``"db(BF)"`` enable the Bloom filter on the
-    corresponding base algorithm.
+    corresponding base algorithm.  Unknown names — including a ``(BF)``
+    suffix on an algorithm with no optional Bloom filter — raise
+    :class:`~repro.errors.JoinError` listing every valid name.
     """
+    requested = name
     if name.endswith("(BF)"):
         base = name[:-4].rstrip()
         kwargs.setdefault("use_bloom", True)
@@ -284,6 +301,14 @@ def algorithm_by_name(name: str, **kwargs) -> JoinAlgorithm:
         cls = ALGORITHMS[name]
     except KeyError:
         raise JoinError(
-            f"unknown join algorithm {name!r}; have {sorted(ALGORITHMS)}"
+            f"unknown join algorithm {requested!r}; "
+            f"valid names: {', '.join(valid_algorithm_names())}"
         ) from None
-    return cls(**kwargs)
+    try:
+        return cls(**kwargs)
+    except TypeError:
+        raise JoinError(
+            f"join algorithm {requested!r} does not accept "
+            f"{sorted(kwargs)}; valid names: "
+            f"{', '.join(valid_algorithm_names())}"
+        ) from None

@@ -11,8 +11,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
-
 from repro.config import ClusterConfig
 from repro.core.bloom import BloomFilter
 from repro.edw.optimizer import DbJoinChoice, DbJoinStrategy

@@ -13,8 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
-
 from repro.core.bloom import BloomFilter
 from repro.edw.index import SecondaryIndex
 from repro.edw.partitioner import agreed_hash_partition

@@ -58,3 +58,16 @@ class OptimizerError(ReproError):
 
 class UdfError(ReproError):
     """A user-defined function was misused (unknown name, bad arity)."""
+
+
+class ServiceError(ReproError):
+    """The query-service plane was misconfigured or misused."""
+
+
+class AdmissionError(ServiceError):
+    """A query was refused by admission control (queue full, quota,
+    timeout).  Carries the machine-readable rejection ``reason``."""
+
+    def __init__(self, message: str, reason: str = "rejected"):
+        super().__init__(message)
+        self.reason = reason

@@ -11,7 +11,7 @@ case the globally least-loaded worker takes it as a remote read.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
 from repro.errors import SimulationError

@@ -18,7 +18,6 @@ from __future__ import annotations
 from typing import List, Sequence
 
 from repro.relational.aggregates import (
-    AggregateSpec,
     group_by_aggregate,
     merge_partial_aggregates,
 )

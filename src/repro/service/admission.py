@@ -1,0 +1,245 @@
+"""Admission control and the resource governor for the query service.
+
+Every submitted query passes through one :class:`AdmissionController`
+before it may touch the shared cluster:
+
+* at most ``slots`` queries are in flight at once (bounded concurrency);
+* each tenant may hold at most ``tenant_quota`` of those slots, so one
+  noisy tenant cannot starve the rest;
+* excess queries wait in a bounded FIFO queue; a queue beyond
+  ``max_queue`` rejects new arrivals outright (``queue_full``);
+* a queued query that is not granted a slot within ``queue_timeout``
+  simulated seconds is rejected (``timeout``) — its timer fires on the
+  DES heap via :meth:`~repro.sim.engine.SimEngine.call_at`;
+* under overload the controller degrades gracefully: once the queue is
+  ``shed_fraction`` full, *best-effort* arrivals (priority > 0) are shed
+  immediately (``overload_shed``) so interactive traffic keeps its
+  queue headroom.
+
+Which queued query gets a freed slot is decided by the scheduling
+policy (:class:`~repro.service.scheduler.FairSharePolicy` by default):
+priority, then fair share across tenants, then FIFO.
+
+The controller lives entirely in simulated time; it is driven from
+processes on the service's :class:`~repro.sim.engine.SimEngine` and
+communicates through one-shot events whose value is an
+:class:`AdmissionOutcome`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import ServiceError
+from repro.service.metrics import MetricsRegistry
+from repro.service.scheduler import FairSharePolicy
+from repro.sim.engine import Event, SimEngine
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Tunables of the resource governor."""
+
+    #: Maximum queries in flight on the cluster at once.
+    slots: int = 8
+    #: Maximum queries waiting for a slot; further arrivals are rejected.
+    max_queue: int = 32
+    #: Simulated seconds a query may wait before it is rejected.
+    queue_timeout: float = 300.0
+    #: Maximum in-flight queries per tenant (None = no per-tenant cap).
+    tenant_quota: Optional[int] = None
+    #: Queue-depth fraction beyond which best-effort (priority > 0)
+    #: arrivals are shed immediately.  None disables shedding.
+    shed_fraction: Optional[float] = 0.75
+
+    def __post_init__(self):
+        if self.slots < 1:
+            raise ServiceError("admission needs at least one slot")
+        if self.max_queue < 0:
+            raise ServiceError("max_queue must be non-negative")
+        if self.queue_timeout <= 0:
+            raise ServiceError("queue_timeout must be positive")
+        if self.tenant_quota is not None and self.tenant_quota < 1:
+            raise ServiceError("tenant_quota must be >= 1 when set")
+        if self.shed_fraction is not None and not 0 < self.shed_fraction <= 1:
+            raise ServiceError("shed_fraction must be in (0, 1]")
+
+
+@dataclass
+class AdmissionGrant:
+    """A held slot; hand it back via :meth:`AdmissionController.release`."""
+
+    tenant: str
+    seq: int
+    granted_at: float
+    released: bool = False
+
+
+@dataclass(frozen=True)
+class AdmissionOutcome:
+    """Value carried by the event a request resolves to."""
+
+    admitted: bool
+    #: "admitted", "queue_full", "overload_shed" or "timeout".
+    reason: str
+    queued_seconds: float
+    grant: Optional[AdmissionGrant] = None
+
+
+@dataclass
+class _Pending:
+    """One queued admission request."""
+
+    tenant: str
+    priority: int
+    seq: int
+    enqueued_at: float
+    event: Event
+    resolved: bool = False
+
+
+class AdmissionController:
+    """Gate between submitted queries and the shared cluster."""
+
+    def __init__(self, engine: SimEngine,
+                 config: Optional[AdmissionConfig] = None,
+                 policy: Optional[FairSharePolicy] = None,
+                 metrics: Optional[MetricsRegistry] = None):
+        self.engine = engine
+        self.config = config or AdmissionConfig()
+        self.policy = policy or FairSharePolicy()
+        self.metrics = metrics or MetricsRegistry()
+        self._pending: List[_Pending] = []
+        self._in_flight = 0
+        self._by_tenant: Dict[str, int] = {}
+        self._seq = itertools.count()
+        self._gauge_queue = self.metrics.gauge(
+            "admission.queue_depth", "queries waiting for a slot")
+        self._gauge_in_flight = self.metrics.gauge(
+            "admission.in_flight", "queries holding a slot")
+        self._wait_histogram = self.metrics.histogram(
+            "admission.queue_wait_seconds", "slot wait of admitted queries")
+
+    # ------------------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        """Queries currently holding a slot."""
+        return self._in_flight
+
+    def tenant_in_flight(self, tenant: str) -> int:
+        """Slots currently held by ``tenant``."""
+        return self._by_tenant.get(tenant, 0)
+
+    @property
+    def queue_depth(self) -> int:
+        """Queries currently waiting."""
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    def request(self, tenant: str = "default", priority: int = 0) -> Event:
+        """Ask for a slot; the returned event resolves to an
+        :class:`AdmissionOutcome` (possibly immediately)."""
+        event = self.engine.event(f"admit-{tenant}")
+        now = self.engine.now
+        if self._shed_now(priority):
+            self._reject(event, "overload_shed", 0.0)
+            return event
+        if len(self._pending) >= self.config.max_queue \
+                and not self._slot_available(tenant):
+            self._reject(event, "queue_full", 0.0)
+            return event
+        pending = _Pending(
+            tenant=tenant, priority=priority, seq=next(self._seq),
+            enqueued_at=now, event=event,
+        )
+        self._pending.append(pending)
+        self._gauge_queue.set(len(self._pending))
+        self._dispatch()
+        if not pending.resolved:
+            # Only genuinely queued requests need an expiry timer (a
+            # timer for an admitted request would still sit on the DES
+            # heap, dragging the simulated clock out to the timeout).
+            self.engine.call_at(
+                now + self.config.queue_timeout,
+                lambda: self._expire(pending),
+            )
+        return event
+
+    def release(self, grant: AdmissionGrant) -> None:
+        """Return a slot; wakes the next eligible queued query."""
+        if grant.released:
+            raise ServiceError(
+                f"admission grant for tenant {grant.tenant!r} "
+                "released twice"
+            )
+        grant.released = True
+        self._in_flight -= 1
+        self._by_tenant[grant.tenant] -= 1
+        self._gauge_in_flight.set(self._in_flight)
+        self._dispatch()
+
+    # ------------------------------------------------------------------
+    def _slot_available(self, tenant: str) -> bool:
+        under_quota = (
+            self.config.tenant_quota is None
+            or self.tenant_in_flight(tenant) < self.config.tenant_quota
+        )
+        return self._in_flight < self.config.slots and under_quota
+
+    def _shed_now(self, priority: int) -> bool:
+        if self.config.shed_fraction is None or priority <= 0:
+            return False
+        if self.config.max_queue == 0:
+            return False
+        threshold = self.config.shed_fraction * self.config.max_queue
+        return len(self._pending) >= threshold
+
+    def _reject(self, event: Event, reason: str, waited: float) -> None:
+        self.metrics.counter(f"admission.rejected.{reason}").inc()
+        self.metrics.counter("admission.rejected").inc()
+        event.succeed(AdmissionOutcome(
+            admitted=False, reason=reason, queued_seconds=waited,
+        ))
+
+    def _expire(self, pending: _Pending) -> None:
+        if pending.resolved:
+            return
+        pending.resolved = True
+        self._pending.remove(pending)
+        self._gauge_queue.set(len(self._pending))
+        self._reject(pending.event, "timeout",
+                     self.engine.now - pending.enqueued_at)
+
+    def _dispatch(self) -> None:
+        while self._in_flight < self.config.slots:
+            eligible = [
+                pending for pending in self._pending
+                if self.config.tenant_quota is None
+                or self.tenant_in_flight(pending.tenant)
+                < self.config.tenant_quota
+            ]
+            choice = self.policy.select(eligible, dict(self._by_tenant))
+            if choice is None:
+                return
+            pending = eligible[choice]
+            pending.resolved = True
+            self._pending.remove(pending)
+            self._in_flight += 1
+            self._by_tenant[pending.tenant] = (
+                self._by_tenant.get(pending.tenant, 0) + 1
+            )
+            waited = self.engine.now - pending.enqueued_at
+            self._gauge_queue.set(len(self._pending))
+            self._gauge_in_flight.set(self._in_flight)
+            self._wait_histogram.observe(waited)
+            self.metrics.counter("admission.admitted").inc()
+            grant = AdmissionGrant(
+                tenant=pending.tenant, seq=pending.seq,
+                granted_at=self.engine.now,
+            )
+            pending.event.succeed(AdmissionOutcome(
+                admitted=True, reason="admitted",
+                queued_seconds=waited, grant=grant,
+            ))

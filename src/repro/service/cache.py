@@ -1,0 +1,255 @@
+"""Semantic caching for the query service.
+
+Two artifacts of a hybrid-join execution are worth keeping across a
+query stream:
+
+* **the result** — the paper's query template always groups and
+  aggregates, so results are small; a repeated query (same normalised
+  plan) is answered from the coordinator without touching either
+  cluster, and — because every algorithm is exact — a result computed
+  by *any* algorithm serves a repeat regardless of which algorithm the
+  advisor would pick this time;
+* **the merged database Bloom filter BF(T′)** — the paper's Section 3
+  filter depends only on the database table, its local predicate and
+  the join key, *not* on the HDFS side of the query.  Two queries that
+  share those (e.g. the same transaction filter joined against
+  different log slices) can reuse one OR-merged filter, skipping the
+  ``cal_filter``/``combine_filter`` pipeline entirely.
+
+Keys are *semantic*: predicates are normalised (conjunction and
+disjunction children sorted, literals rendered canonically), so two
+syntactically different but identical plans share an entry.  With
+``literals=False`` the same normalisation yields a *template* key —
+the plan with its constants stripped — which is what the feedback loop
+(:mod:`repro.service.feedback`) aggregates observations under.
+
+Both caches are bounded LRU maps.  Entries are returned by reference
+and must be treated as immutable, matching the read-only convention of
+the rest of the data plane.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import OrderedDict
+from typing import Optional
+
+from repro.errors import ServiceError
+from repro.query.query import HybridQuery
+from repro.relational.expressions import (
+    BetweenDayDiff,
+    ColumnPairPredicate,
+    ColumnPredicate,
+    Conjunction,
+    Disjunction,
+    InSetPredicate,
+    Negation,
+    Predicate,
+    TruePredicate,
+    UdfPredicate,
+)
+from repro.relational.table import Table
+from repro.service.metrics import MetricsRegistry
+
+
+# ----------------------------------------------------------------------
+# Canonical keys
+# ----------------------------------------------------------------------
+def predicate_key(predicate: Optional[Predicate],
+                  literals: bool = True) -> str:
+    """Canonical string form of a predicate.
+
+    AND/OR children are sorted so commutative rewrites coincide; with
+    ``literals=False`` comparison constants are replaced by ``?``,
+    producing the template form shared by all parameterisations.
+    UDF predicates are keyed by UDF name and column (two UDFs with the
+    same registered name are assumed to be the same function).
+    """
+    lit = (lambda value: repr(value)) if literals else (lambda value: "?")
+    if predicate is None:
+        return "NONE"
+    if isinstance(predicate, TruePredicate):
+        return "TRUE"
+    if isinstance(predicate, ColumnPredicate):
+        return f"{predicate.column}{predicate.op.value}{lit(predicate.literal)}"
+    if isinstance(predicate, Conjunction):
+        children = sorted(
+            predicate_key(child, literals) for child in predicate.children
+        )
+        return "AND(" + ",".join(children) + ")"
+    if isinstance(predicate, Disjunction):
+        children = sorted(
+            predicate_key(child, literals) for child in predicate.children
+        )
+        return "OR(" + ",".join(children) + ")"
+    if isinstance(predicate, Negation):
+        return "NOT(" + predicate_key(predicate.child, literals) + ")"
+    if isinstance(predicate, BetweenDayDiff):
+        bounds = (f"{predicate.low},{predicate.high}" if literals
+                  else "?,?")
+        return (f"DAYDIFF({predicate.left_column},"
+                f"{predicate.right_column})IN[{bounds}]")
+    if isinstance(predicate, InSetPredicate):
+        values = (",".join(sorted(repr(v) for v in predicate.values))
+                  if literals else "?")
+        return f"{predicate.column}IN({values})"
+    if isinstance(predicate, ColumnPairPredicate):
+        return (f"{predicate.left_column}{predicate.op.value}"
+                f"{predicate.right_column}")
+    if isinstance(predicate, UdfPredicate):
+        return f"UDF:{predicate.name}({predicate.column})"
+    # Unknown predicate types fall back to repr, which is stable for
+    # the frozen dataclasses this AST is built from.
+    return repr(predicate)
+
+
+def plan_key(query: HybridQuery, literals: bool = True) -> str:
+    """Canonical normalised form of a whole hybrid plan.
+
+    Everything that affects the result participates: tables, join keys,
+    projections (order matters — it is the output schema), predicates,
+    scan-time derivations, post-join predicate, grouping and
+    aggregates.  With ``literals=False`` this is the plan *template*.
+    """
+    derived = ";".join(
+        f"{d.name}={d.udf_name}({d.source})" for d in query.hdfs_derived
+    )
+    aggregates = ";".join(
+        f"{spec.function}({spec.column or '*'})as{spec.output_name()}"
+        for spec in query.aggregates
+    )
+    parts = [
+        f"db={query.db_table}",
+        f"hdfs={query.hdfs_table}",
+        f"on={query.db_join_key}={query.hdfs_join_key}",
+        f"tproj={','.join(query.db_projection)}",
+        f"lproj={','.join(query.hdfs_projection)}",
+        f"tpred={predicate_key(query.db_predicate, literals)}",
+        f"lpred={predicate_key(query.hdfs_predicate, literals)}",
+        f"derived={derived}",
+        f"post={predicate_key(query.post_join_predicate, literals)}",
+        f"group={','.join(query.group_by)}",
+        f"agg={aggregates}",
+        f"prefix={query.db_prefix}|{query.hdfs_prefix}",
+    ]
+    return "&".join(parts)
+
+
+def bloom_key(table_name: str, predicate: Predicate, key_column: str,
+              num_bits: int, num_hashes: int, seed: int) -> str:
+    """Canonical key of a merged BF(T′): everything its bits depend on."""
+    return (f"{table_name}|{key_column}|{predicate_key(predicate)}"
+            f"|m={num_bits}|k={num_hashes}|s={seed}")
+
+
+# ----------------------------------------------------------------------
+# Bounded LRU caches
+# ----------------------------------------------------------------------
+class _LruCache:
+    """Bounded LRU mapping with hit/miss/eviction counters."""
+
+    def __init__(self, capacity: int, name: str,
+                 metrics: Optional[MetricsRegistry] = None):
+        if capacity < 1:
+            raise ServiceError(f"{name} cache capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, object]" = OrderedDict()
+        metrics = metrics or MetricsRegistry()
+        self.hits = metrics.counter(f"cache.{name}.hits")
+        self.misses = metrics.counter(f"cache.{name}.misses")
+        self.evictions = metrics.counter(f"cache.{name}.evictions")
+
+    def get(self, key: str):
+        """The cached value, refreshing recency; None on miss."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses.inc()
+            return None
+        self._entries.move_to_end(key)
+        self.hits.inc()
+        return value
+
+    def put(self, key: str, value) -> None:
+        """Insert (or refresh) an entry, evicting the LRU tail."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions.inc()
+
+    def invalidate(self, key: Optional[str] = None) -> None:
+        """Drop one entry (or everything, when ``key`` is None)."""
+        if key is None:
+            self._entries.clear()
+        else:
+            self._entries.pop(key, None)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def hit_rate(self) -> float:
+        """Hits over lookups (0 when never consulted)."""
+        lookups = self.hits.value + self.misses.value
+        return self.hits.value / lookups if lookups else 0.0
+
+
+class ResultCache(_LruCache):
+    """Normalised plan key -> final result :class:`Table`."""
+
+    def __init__(self, capacity: int = 128,
+                 metrics: Optional[MetricsRegistry] = None):
+        super().__init__(capacity, "result", metrics)
+
+    def get(self, key: str) -> Optional[Table]:
+        return super().get(key)
+
+
+class BloomCache(_LruCache):
+    """BF(T′) key -> merged ``GlobalBloomResult``."""
+
+    def __init__(self, capacity: int = 64,
+                 metrics: Optional[MetricsRegistry] = None):
+        super().__init__(capacity, "bloom", metrics)
+
+
+class CachingBloomBuilder:
+    """Memoising stand-in for ``ParallelDatabase.build_global_bloom``.
+
+    Installed by the service for the duration of a drain: a cache hit
+    returns the previously merged filter with its build-cost stats
+    zeroed (``index_only=True``, nothing scanned), so the trace prices
+    the BF build at its floor while the data plane probes bits
+    identical to a rebuild.  The multicast to the JEN workers is *not*
+    elided — a reused filter still has to reach the scan sites.
+    """
+
+    def __init__(self, database, cache: BloomCache):
+        self._database = database
+        self._build = database.build_global_bloom
+        self.cache = cache
+
+    def __call__(self, table_name, predicate, key_column, num_bits,
+                 num_hashes=2, seed=7):
+        key = bloom_key(table_name, predicate, key_column,
+                        num_bits, num_hashes, seed)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return dataclasses.replace(
+                cached, index_only=True, rows_accessed=0,
+                bytes_accessed=0.0, keys_added=0,
+            )
+        result = self._build(table_name, predicate, key_column,
+                             num_bits, num_hashes=num_hashes, seed=seed)
+        self.cache.put(key, result)
+        return result
+
+    def install(self) -> None:
+        """Shadow the database's builder with this memoising one."""
+        self._database.build_global_bloom = self
+
+    def uninstall(self) -> None:
+        """Restore the database's original builder."""
+        if self._database.__dict__.get("build_global_bloom") is self:
+            del self._database.__dict__["build_global_bloom"]

@@ -1,0 +1,173 @@
+"""Execution feedback: observed statistics refine future advice.
+
+The advisor's sample-based :class:`~repro.core.advisor.WorkloadEstimate`
+is a planning guess; a *completed* query carries the truth.  Every
+finished execution reports:
+
+* the observed tuple selectivity of the database predicate
+  (rows surviving ``db_filter`` over rows scanned);
+* the observed tuple selectivity of the HDFS predicate
+  (rows after predicates over rows scanned);
+* the observed join output cardinality.
+
+The loop keeps two stores, in the spirit of runtime join-location
+optimisation (Chandra & Sudarshan, arXiv:1703.01148):
+
+* **exact** — per normalised plan (:func:`repro.service.cache.plan_key`):
+  an EWMA of the observed selectivities.  A repeat of the same query is
+  advised from what actually happened, not from a fresh sample.
+* **template** — per plan *template* (literals stripped): an EWMA of
+  the observed/estimated *ratio*.  A new parameterisation of a familiar
+  template gets its sampled estimate multiplied by the template's
+  historical correction factor, so systematic sampling bias (e.g. a
+  predicate whose selectivity the first block under-represents) is
+  corrected even for constants never seen before.
+
+:meth:`FeedbackLoop.refine` applies exact observations first, then the
+template correction, and clamps everything back into the advisor's
+legal ``(0, 1]`` range.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.advisor import WorkloadEstimate
+from repro.core.joins.base import JoinResult
+from repro.errors import SimulationError
+from repro.service.metrics import MetricsRegistry
+
+#: Selectivities are clamped into this range before refinement.
+_SIGMA_FLOOR = 1e-5
+
+
+@dataclass
+class Observation:
+    """What one completed execution taught us."""
+
+    sigma_t: Optional[float]
+    sigma_l: Optional[float]
+    join_output_tuples: float
+    algorithm: str
+    simulated_seconds: float
+
+
+def observe(join_result: JoinResult) -> Observation:
+    """Extract observed statistics from a completed run.
+
+    Selectivities come from the movement counters every algorithm
+    records; an algorithm that skipped a side (no ``db_filter`` phase,
+    nothing scanned) contributes ``None`` for that side.
+    """
+    stats = join_result.stats
+    sigma_t: Optional[float] = None
+    try:
+        t_prime = join_result.trace.phase("db_filter").tuples
+        if stats.db_rows_scanned > 0:
+            sigma_t = t_prime / stats.db_rows_scanned
+    except SimulationError:
+        pass
+    sigma_l: Optional[float] = None
+    if stats.hdfs_rows_scanned > 0:
+        sigma_l = stats.hdfs_rows_after_predicates / stats.hdfs_rows_scanned
+    return Observation(
+        sigma_t=sigma_t,
+        sigma_l=sigma_l,
+        join_output_tuples=stats.join_output_tuples,
+        algorithm=join_result.algorithm,
+        simulated_seconds=join_result.total_seconds,
+    )
+
+
+@dataclass
+class _Ewma:
+    """One exponentially weighted pair of selectivities."""
+
+    sigma_t: Optional[float] = None
+    sigma_l: Optional[float] = None
+    samples: int = 0
+
+    def update(self, alpha: float, sigma_t: Optional[float],
+               sigma_l: Optional[float]) -> None:
+        if sigma_t is not None:
+            self.sigma_t = (sigma_t if self.sigma_t is None
+                            else alpha * sigma_t
+                            + (1 - alpha) * self.sigma_t)
+        if sigma_l is not None:
+            self.sigma_l = (sigma_l if self.sigma_l is None
+                            else alpha * sigma_l
+                            + (1 - alpha) * self.sigma_l)
+        self.samples += 1
+
+
+class FeedbackLoop:
+    """Accumulates observations; refines estimates for the advisor."""
+
+    def __init__(self, alpha: float = 0.5,
+                 metrics: Optional[MetricsRegistry] = None):
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self._exact: Dict[str, _Ewma] = {}
+        self._template: Dict[str, _Ewma] = {}
+        metrics = metrics or MetricsRegistry()
+        self._recorded = metrics.counter(
+            "feedback.observations", "completed executions recorded")
+        self._refined = metrics.counter(
+            "feedback.refinements", "estimates adjusted from history")
+
+    # ------------------------------------------------------------------
+    def record(self, exact_key: str, template_key: str,
+               estimate: WorkloadEstimate,
+               join_result: JoinResult) -> Observation:
+        """Fold one completed execution into both stores."""
+        observation = observe(join_result)
+        exact = self._exact.setdefault(exact_key, _Ewma())
+        exact.update(self.alpha, observation.sigma_t, observation.sigma_l)
+        ratio_t = (observation.sigma_t / max(estimate.sigma_t, _SIGMA_FLOOR)
+                   if observation.sigma_t is not None else None)
+        ratio_l = (observation.sigma_l / max(estimate.sigma_l, _SIGMA_FLOOR)
+                   if observation.sigma_l is not None else None)
+        template = self._template.setdefault(template_key, _Ewma())
+        template.update(self.alpha, ratio_t, ratio_l)
+        self._recorded.inc()
+        return observation
+
+    def refine(self, exact_key: str, template_key: str,
+               estimate: WorkloadEstimate) -> WorkloadEstimate:
+        """The estimate, corrected by everything observed so far."""
+        sigma_t, sigma_l = estimate.sigma_t, estimate.sigma_l
+        adjusted = False
+        exact = self._exact.get(exact_key)
+        if exact is not None and exact.samples > 0:
+            if exact.sigma_t is not None:
+                sigma_t, adjusted = exact.sigma_t, True
+            if exact.sigma_l is not None:
+                sigma_l, adjusted = exact.sigma_l, True
+        else:
+            template = self._template.get(template_key)
+            if template is not None and template.samples > 0:
+                if template.sigma_t is not None:
+                    sigma_t, adjusted = sigma_t * template.sigma_t, True
+                if template.sigma_l is not None:
+                    sigma_l, adjusted = sigma_l * template.sigma_l, True
+        if not adjusted:
+            return estimate
+        self._refined.inc()
+        return dataclasses.replace(
+            estimate,
+            sigma_t=min(1.0, max(_SIGMA_FLOOR, sigma_t)),
+            sigma_l=min(1.0, max(_SIGMA_FLOOR, sigma_l)),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def observations(self) -> int:
+        """Completed executions recorded so far."""
+        return int(self._recorded.value)
+
+    def known_plans(self) -> int:
+        """Distinct exact plans with at least one observation."""
+        return len(self._exact)

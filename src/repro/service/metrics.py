@@ -1,0 +1,210 @@
+"""A small counters/gauges/histograms registry for the service plane.
+
+The service plane runs entirely in simulated time, so the metrics here
+are ordinary in-process accumulators — no clocks, no threads, no
+sampling windows.  A :class:`MetricsRegistry` is owned by one
+:class:`~repro.service.server.QueryService` instance; its
+:meth:`~MetricsRegistry.render` output is what ``python -m repro serve``
+prints after replaying a stream.
+
+Histograms keep every observation (query streams here are thousands of
+points at most), so quantiles are exact rather than sketch
+approximations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import ServiceError
+
+
+class Counter:
+    """A monotonically increasing count (admissions, rejections, hits)."""
+
+    def __init__(self, name: str, help_text: str = ""):
+        self.name = name
+        self.help_text = help_text
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ServiceError(
+                f"counter {self.name!r} cannot decrease (inc {amount})"
+            )
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value:g})"
+
+
+class Gauge:
+    """An instantaneous level (queue depth, in-flight queries).
+
+    Tracks the high watermark alongside the current value — the peak
+    concurrency a service run sustained is a gauge's ``high`` reading.
+    """
+
+    def __init__(self, name: str, help_text: str = ""):
+        self.name = name
+        self.help_text = help_text
+        self.value = 0.0
+        self.high = 0.0
+
+    def set(self, value: float) -> None:
+        """Set the current level."""
+        self.value = float(value)
+        self.high = max(self.high, self.value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Adjust the current level by ``amount`` (may be negative)."""
+        self.set(self.value + amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Shorthand for ``inc(-amount)``."""
+        self.inc(-amount)
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value:g}, high={self.high:g})"
+
+
+class Histogram:
+    """Exact-quantile histogram over every observed value."""
+
+    def __init__(self, name: str, help_text: str = ""):
+        self.name = name
+        self.help_text = help_text
+        self._values: List[float] = []
+        self._sorted = True
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        if self._values and value < self._values[-1]:
+            self._sorted = False
+        self._values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return len(self._values)
+
+    @property
+    def total(self) -> float:
+        """Sum of observations."""
+        return sum(self._values)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean (0 when empty)."""
+        return self.total / self.count if self._values else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Exact ``q``-th percentile (nearest-rank, ``0 <= q <= 100``)."""
+        if not 0.0 <= q <= 100.0:
+            raise ServiceError(f"percentile {q} outside [0, 100]")
+        if not self._values:
+            return 0.0
+        if not self._sorted:
+            self._values.sort()
+            self._sorted = True
+        rank = max(0, min(len(self._values) - 1,
+                          round(q / 100.0 * (len(self._values) - 1))))
+        return self._values[rank]
+
+    @property
+    def p50(self) -> float:
+        """Median."""
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        """95th percentile."""
+        return self.percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        """99th percentile."""
+        return self.percentile(99.0)
+
+    def __repr__(self) -> str:
+        return (f"Histogram({self.name}: n={self.count}, "
+                f"p50={self.p50:g}, p95={self.p95:g})")
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create accessors.
+
+    Re-requesting a name returns the existing instrument; requesting an
+    existing name as a *different* instrument type is an error, so two
+    components cannot silently alias each other's numbers.
+    """
+
+    def __init__(self):
+        self._metrics: Dict[str, object] = {}
+
+    def _get_or_create(self, name: str, cls, help_text: str):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ServiceError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}, not {cls.__name__}"
+                )
+            return existing
+        metric = cls(name, help_text)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        """Get or create a counter."""
+        return self._get_or_create(name, Counter, help_text)
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        """Get or create a gauge."""
+        return self._get_or_create(name, Gauge, help_text)
+
+    def histogram(self, name: str, help_text: str = "") -> Histogram:
+        """Get or create a histogram."""
+        return self._get_or_create(name, Histogram, help_text)
+
+    def get(self, name: str) -> Optional[object]:
+        """The metric registered under ``name``, or None."""
+        return self._metrics.get(name)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Snapshot of every metric's headline value(s)."""
+        snapshot: Dict[str, object] = {}
+        for name, metric in sorted(self._metrics.items()):
+            if isinstance(metric, Counter):
+                snapshot[name] = metric.value
+            elif isinstance(metric, Gauge):
+                snapshot[name] = {"value": metric.value, "high": metric.high}
+            elif isinstance(metric, Histogram):
+                snapshot[name] = {
+                    "count": metric.count,
+                    "mean": metric.mean,
+                    "p50": metric.p50,
+                    "p95": metric.p95,
+                    "p99": metric.p99,
+                }
+        return snapshot
+
+    def render(self) -> str:
+        """Multi-line human-readable report of every metric."""
+        lines = []
+        for name, metric in sorted(self._metrics.items()):
+            if isinstance(metric, Counter):
+                lines.append(f"  {name:<42s} {metric.value:12g}")
+            elif isinstance(metric, Gauge):
+                lines.append(
+                    f"  {name:<42s} {metric.value:12g}  "
+                    f"(high {metric.high:g})"
+                )
+            elif isinstance(metric, Histogram):
+                lines.append(
+                    f"  {name:<42s} n={metric.count:<6d} "
+                    f"mean={metric.mean:9.2f} p50={metric.p50:9.2f} "
+                    f"p95={metric.p95:9.2f} p99={metric.p99:9.2f}"
+                )
+        return "\n".join(lines) if lines else "  (no metrics recorded)"

@@ -1,0 +1,394 @@
+"""The query service: a stream of hybrid joins over one shared cluster.
+
+:class:`QueryService` is the third plane of the reproduction, next to
+the data plane (real rows moving between the simulated engines) and the
+time plane (one trace replayed on the DES).  It accepts *many* queries
+— submitted ahead of time with simulated arrival offsets — and runs
+them concurrently over one :class:`~repro.warehouse.HybridWarehouse`:
+
+1. ``submit()`` records a query (a :class:`~repro.query.query.HybridQuery`
+   or SQL text) and returns a :class:`QueryTicket`;
+2. ``drain()`` replays the whole stream on a fresh
+   :class:`~repro.sim.engine.SimEngine`: arrivals fire at their offsets,
+   the admission controller gates entry to the cluster, admitted
+   queries execute the real data plane (through the semantic caches)
+   and their traces contend for the shared EDW / JEN / interconnect
+   resources of :class:`~repro.service.scheduler.SharedCluster`;
+3. each completion feeds observed statistics back to the advisor via
+   :class:`~repro.service.feedback.FeedbackLoop`, so algorithm choice
+   improves over the stream;
+4. ``drain()`` returns a :class:`ServiceReport` with per-query outcomes
+   and the service metrics (throughput, tail latency, cache hit rates,
+   admission counters).
+
+The service is reusable: caches and feedback survive across drains,
+while simulated time restarts from zero for each batch.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from repro.core.joins import JoinResult, algorithm_by_name
+from repro.errors import ServiceError
+from repro.query.query import HybridQuery
+from repro.relational.table import Table
+from repro.service.admission import AdmissionConfig, AdmissionController
+from repro.service.cache import (
+    BloomCache,
+    CachingBloomBuilder,
+    ResultCache,
+    plan_key,
+)
+from repro.service.feedback import FeedbackLoop
+from repro.service.metrics import MetricsRegistry
+from repro.service.scheduler import SharedCluster, schedule_trace
+from repro.sim.engine import SimEngine, Timeout
+from repro.sql import SqlSession
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of one query service."""
+
+    admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+    #: Gang slots per shared resource class (see scheduler module).
+    edw_slots: int = 1
+    jen_slots: int = 1
+    net_slots: int = 1
+    #: Streaming chunks per phase in the concurrent replay.
+    chunks: int = 32
+    result_cache_entries: int = 128
+    bloom_cache_entries: int = 64
+    enable_result_cache: bool = True
+    enable_bloom_cache: bool = True
+    enable_feedback: bool = True
+    #: Simulated coordinator latency of answering from the result cache.
+    cache_hit_seconds: float = 0.1
+
+
+@dataclass
+class QueryOutcome:
+    """Everything the service can say about one submitted query."""
+
+    ticket_id: int
+    tenant: str
+    #: "ok" or "rejected".
+    status: str
+    reject_reason: str = ""
+    algorithm: str = ""
+    advisor_rationale: str = ""
+    cache_hit: bool = False
+    submitted_at: float = 0.0
+    admitted_at: float = 0.0
+    finished_at: float = 0.0
+    queue_wait: float = 0.0
+    result: Optional[Table] = None
+    join_result: Optional[JoinResult] = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the query completed."""
+        return self.status == "ok"
+
+    @property
+    def latency(self) -> float:
+        """Submission-to-answer simulated seconds."""
+        return self.finished_at - self.submitted_at
+
+    @property
+    def service_seconds(self) -> float:
+        """Execution time excluding the admission queue wait."""
+        return self.finished_at - self.admitted_at
+
+
+@dataclass
+class QueryTicket:
+    """Handle returned by :meth:`QueryService.submit`."""
+
+    id: int
+    tenant: str
+    at: float
+    outcome: Optional[QueryOutcome] = None
+
+    @property
+    def done(self) -> bool:
+        """Whether the batch holding this ticket has been drained."""
+        return self.outcome is not None
+
+    def result(self) -> Table:
+        """The result table; raises if not drained or not completed."""
+        if self.outcome is None:
+            raise ServiceError(
+                f"query q{self.id} not executed yet; call drain()"
+            )
+        if not self.outcome.ok:
+            raise ServiceError(
+                f"query q{self.id} was rejected "
+                f"({self.outcome.reject_reason})"
+            )
+        return self.outcome.result
+
+
+@dataclass
+class _Submission:
+    ticket: QueryTicket
+    query: HybridQuery
+    algorithm: str
+    priority: int
+
+
+@dataclass
+class ServiceReport:
+    """Outcome of draining one batch."""
+
+    outcomes: List[QueryOutcome]
+    makespan: float
+    metrics: MetricsRegistry
+
+    def completed(self) -> List[QueryOutcome]:
+        """Queries that produced a result."""
+        return [outcome for outcome in self.outcomes if outcome.ok]
+
+    def rejected(self) -> List[QueryOutcome]:
+        """Queries refused by admission control."""
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
+    def throughput(self) -> float:
+        """Completed queries per simulated second."""
+        if self.makespan <= 0:
+            return 0.0
+        return len(self.completed()) / self.makespan
+
+    def serial_seconds(self) -> float:
+        """Sum of per-query execution times — what a one-at-a-time
+        service would have taken end to end."""
+        return sum(outcome.service_seconds for outcome in self.completed())
+
+    def render(self) -> str:
+        """Human-readable report: per-query lines plus the metrics."""
+        lines = [
+            f"{len(self.completed())} completed, "
+            f"{len(self.rejected())} rejected in "
+            f"{self.makespan:.1f}s simulated "
+            f"({self.throughput() * 60:.2f} queries/min; serial sum "
+            f"{self.serial_seconds():.1f}s)",
+            "",
+        ]
+        for outcome in self.outcomes:
+            if outcome.ok:
+                source = "cache" if outcome.cache_hit else outcome.algorithm
+                lines.append(
+                    f"  q{outcome.ticket_id:<4d} {outcome.tenant:<10s} "
+                    f"{source:<18s} wait={outcome.queue_wait:7.1f}s "
+                    f"latency={outcome.latency:8.1f}s "
+                    f"rows={outcome.result.num_rows}"
+                )
+            else:
+                lines.append(
+                    f"  q{outcome.ticket_id:<4d} {outcome.tenant:<10s} "
+                    f"REJECTED ({outcome.reject_reason}) after "
+                    f"{outcome.queue_wait:.1f}s"
+                )
+        lines += ["", "metrics:", self.metrics.render()]
+        return "\n".join(lines)
+
+
+class QueryService:
+    """Concurrent query execution over one hybrid warehouse."""
+
+    def __init__(self, warehouse, config: Optional[ServiceConfig] = None):
+        self.warehouse = warehouse
+        self.config = config or ServiceConfig()
+        self.metrics = MetricsRegistry()
+        self.feedback = FeedbackLoop(metrics=self.metrics)
+        self.result_cache = ResultCache(
+            self.config.result_cache_entries, metrics=self.metrics)
+        self.bloom_builder = CachingBloomBuilder(
+            warehouse.database,
+            BloomCache(self.config.bloom_cache_entries,
+                       metrics=self.metrics),
+        )
+        refiner = (self._refine_estimate if self.config.enable_feedback
+                   else None)
+        self.session = SqlSession(warehouse, estimate_refiner=refiner)
+        self._ids = itertools.count(1)
+        self._pending: List[_Submission] = []
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, query: Union[HybridQuery, str], tenant: str = "default",
+               at: float = 0.0, algorithm: str = "auto",
+               priority: int = 0) -> QueryTicket:
+        """Queue a query for the next drain; returns its ticket.
+
+        ``at`` is the simulated arrival offset from the start of the
+        batch; ``priority`` 0 is interactive, larger values are
+        best-effort (shed first under overload).
+        """
+        if at < 0:
+            raise ServiceError("arrival offset must be non-negative")
+        if isinstance(query, str):
+            query = self._translate(query)
+        if algorithm != "auto":
+            algorithm_by_name(algorithm)  # validate the name early
+        ticket = QueryTicket(id=next(self._ids), tenant=tenant, at=at)
+        self._pending.append(_Submission(
+            ticket=ticket, query=query, algorithm=algorithm,
+            priority=priority,
+        ))
+        self.metrics.counter("service.submitted").inc()
+        return ticket
+
+    def _translate(self, sql: str) -> HybridQuery:
+        translation = self.session.explain(sql)
+        if translation.needs_prejoin():
+            raise ServiceError(
+                "star-schema SQL needs in-database pre-joins; run it "
+                "through SqlSession.execute, not the query service"
+            )
+        return translation.query
+
+    # ------------------------------------------------------------------
+    # Draining a batch
+    # ------------------------------------------------------------------
+    def drain(self) -> ServiceReport:
+        """Replay every pending submission on a fresh simulated clock."""
+        batch, self._pending = self._pending, []
+        engine = SimEngine()
+        cluster = SharedCluster(
+            engine,
+            edw_slots=self.config.edw_slots,
+            jen_slots=self.config.jen_slots,
+            net_slots=self.config.net_slots,
+        )
+        admission = AdmissionController(
+            engine, self.config.admission, metrics=self.metrics)
+        outcomes: List[QueryOutcome] = []
+        if self.config.enable_bloom_cache:
+            self.bloom_builder.install()
+        try:
+            for submission in sorted(batch,
+                                     key=lambda s: (s.ticket.at,
+                                                    s.ticket.id)):
+                engine.process(
+                    self._query_process(engine, cluster, admission,
+                                        submission, outcomes),
+                    name=f"q{submission.ticket.id}",
+                )
+            engine.run()
+        finally:
+            self.bloom_builder.uninstall()
+        outcomes.sort(key=lambda outcome: outcome.ticket_id)
+        # The engine's final clock includes queue-timeout timers that
+        # fired as no-ops; the batch makespan is the last completion.
+        makespan = max(
+            (outcome.finished_at for outcome in outcomes), default=0.0)
+        return ServiceReport(
+            outcomes=outcomes, makespan=makespan, metrics=self.metrics)
+
+    #: drain() under its task-queue name, for submit/await call sites.
+    await_all = drain
+
+    def execute(self, query: Union[HybridQuery, str],
+                algorithm: str = "auto") -> QueryOutcome:
+        """Convenience: submit one query and drain immediately."""
+        ticket = self.submit(query, algorithm=algorithm)
+        self.drain()
+        return ticket.outcome
+
+    # ------------------------------------------------------------------
+    def _query_process(self, engine, cluster, admission,
+                       submission: _Submission,
+                       outcomes: List[QueryOutcome]):
+        """The per-query generator process driven by the DES."""
+        ticket = submission.ticket
+        if ticket.at > 0:
+            yield Timeout(ticket.at)
+        submitted_at = engine.now
+        key = plan_key(submission.query)
+
+        if self.config.enable_result_cache:
+            cached = self.result_cache.get(key)
+            if cached is not None:
+                if self.config.cache_hit_seconds > 0:
+                    yield Timeout(self.config.cache_hit_seconds)
+                outcome = QueryOutcome(
+                    ticket_id=ticket.id, tenant=ticket.tenant,
+                    status="ok", algorithm="cache", cache_hit=True,
+                    submitted_at=submitted_at, admitted_at=submitted_at,
+                    finished_at=engine.now, result=cached,
+                )
+                self._finish(ticket, outcome, outcomes)
+                return
+
+        admit = yield admission.request(ticket.tenant, submission.priority)
+        if not admit.admitted:
+            outcome = QueryOutcome(
+                ticket_id=ticket.id, tenant=ticket.tenant,
+                status="rejected", reject_reason=admit.reason,
+                submitted_at=submitted_at,
+                admitted_at=submitted_at + admit.queued_seconds,
+                finished_at=submitted_at + admit.queued_seconds,
+                queue_wait=admit.queued_seconds,
+            )
+            self._finish(ticket, outcome, outcomes)
+            return
+
+        algorithm, rationale, join_result = self._execute_data_plane(
+            submission.query, submission.algorithm)
+        run = schedule_trace(
+            engine, cluster, join_result.trace,
+            chunks=self.config.chunks, label=f"q{ticket.id}",
+        )
+        yield run.done
+        admission.release(admit.grant)
+
+        if self.config.enable_feedback:
+            self.feedback.record(
+                key, plan_key(submission.query, literals=False),
+                self.session.sample_estimate(submission.query), join_result,
+            )
+        if self.config.enable_result_cache:
+            self.result_cache.put(key, join_result.result)
+        outcome = QueryOutcome(
+            ticket_id=ticket.id, tenant=ticket.tenant, status="ok",
+            algorithm=algorithm, advisor_rationale=rationale,
+            submitted_at=submitted_at,
+            admitted_at=submitted_at + admit.queued_seconds,
+            finished_at=engine.now, queue_wait=admit.queued_seconds,
+            result=join_result.result, join_result=join_result,
+        )
+        self._finish(ticket, outcome, outcomes)
+
+    def _execute_data_plane(self, query: HybridQuery, algorithm: str):
+        """Run the real data plane; returns (algorithm, rationale, run)."""
+        rationale = ""
+        if algorithm == "auto":
+            decision = self.session.advise(query)
+            algorithm, rationale = decision.best, decision.rationale
+        join_result = algorithm_by_name(algorithm).run(
+            self.warehouse, query)
+        return algorithm, rationale, join_result
+
+    def _refine_estimate(self, query: HybridQuery, estimate):
+        """The session's estimate hook: apply accumulated feedback."""
+        return self.feedback.refine(
+            plan_key(query), plan_key(query, literals=False), estimate)
+
+    def _finish(self, ticket: QueryTicket, outcome: QueryOutcome,
+                outcomes: List[QueryOutcome]) -> None:
+        ticket.outcome = outcome
+        outcomes.append(outcome)
+        if outcome.ok:
+            self.metrics.counter("service.completed").inc()
+            label = "cache" if outcome.cache_hit else outcome.algorithm
+            self.metrics.histogram("service.latency_seconds").observe(
+                outcome.latency)
+            self.metrics.histogram(
+                f"service.latency_seconds.{label}").observe(outcome.latency)
+        else:
+            self.metrics.counter("service.query_rejected").inc()

@@ -1,0 +1,129 @@
+"""Synthetic query streams over a generated workload.
+
+A stream is a list of :class:`StreamedQuery` — the paper's Section 5
+benchmark query re-parameterised into a handful of *templates* (the
+independent-predicate thresholds scaled down, so templates differ in
+σ_T/σ_L and therefore in the advisor's preferred algorithm), assigned
+to tenants round-robin and drawn repeatedly with a seeded RNG.  Repeats
+of a template with the *same* constants are what exercise the result
+cache; templates sharing T's predicate while varying L's are what
+exercise the Bloom-filter cache.
+
+Everything is deterministic given the spec's seed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ServiceError
+from repro.query.query import HybridQuery
+from repro.relational.expressions import compare
+from repro.workload.generator import Workload
+from repro.workload.scenario import build_paper_query
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """Shape of one synthetic query stream."""
+
+    num_queries: int = 24
+    #: Distinct (T-factor, L-factor) parameterisations to draw from.
+    templates: int = 4
+    #: Simulated seconds between consecutive arrivals (0 = burst).
+    arrival_gap: float = 5.0
+    tenants: int = 2
+    seed: int = 11
+    #: Fraction of queries submitted as best-effort (priority 1).
+    best_effort_fraction: float = 0.25
+
+    def __post_init__(self):
+        if self.num_queries < 1 or self.templates < 1 or self.tenants < 1:
+            raise ServiceError(
+                "num_queries, templates and tenants must be >= 1")
+        if self.arrival_gap < 0:
+            raise ServiceError("arrival_gap must be non-negative")
+        if not 0.0 <= self.best_effort_fraction <= 1.0:
+            raise ServiceError("best_effort_fraction must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class StreamedQuery:
+    """One arrival in the stream."""
+
+    query: HybridQuery
+    tenant: str
+    at: float
+    priority: int
+    template: int
+
+
+def template_factors(templates: int) -> List[Tuple[float, float]]:
+    """The (T, L) independent-threshold scale factors per template.
+
+    Template 0 is the paper's query verbatim; later templates tighten
+    the independent predicates, lowering σ without touching the
+    correlated key regions.  The L factor moves twice as fast as the T
+    factor so consecutive templates *share* T's predicate in pairs —
+    the condition for a Bloom-cache hit across different plans.
+    """
+    factors = []
+    for index in range(templates):
+        t_factor = 1.0 / (1 + index // 2)
+        l_factor = 1.0 / (1 + index % 4)
+        factors.append((t_factor, l_factor))
+    return factors
+
+
+def build_template_query(workload: Workload, t_factor: float = 1.0,
+                         l_factor: float = 1.0) -> HybridQuery:
+    """The paper query with its independent thresholds scaled down.
+
+    Scaling only ``indPred`` keeps the correlated key regions (and so
+    the join-key selectivities) intact while multiplying each side's
+    tuple selectivity by roughly the factor — the same knob the paper's
+    own sweeps turn.
+    """
+    if not 0 < t_factor <= 1 or not 0 < l_factor <= 1:
+        raise ServiceError("template factors must be in (0, 1]")
+    base = build_paper_query(workload)
+    t_ind = max(0, round(workload.t_thresholds.ind_threshold * t_factor))
+    l_ind = max(0, round(workload.l_thresholds.ind_threshold * l_factor))
+    return dataclasses.replace(
+        base,
+        db_predicate=(
+            compare("corPred", "<=", workload.t_thresholds.cor_threshold)
+            & compare("indPred", "<=", t_ind)
+        ),
+        hdfs_predicate=(
+            compare("corPred", "<=", workload.l_thresholds.cor_threshold)
+            & compare("indPred", "<=", l_ind)
+        ),
+    )
+
+
+def generate_query_stream(workload: Workload,
+                          spec: StreamSpec) -> List[StreamedQuery]:
+    """A deterministic stream of arrivals over ``workload``."""
+    rng = np.random.default_rng(spec.seed)
+    factors = template_factors(spec.templates)
+    queries = [
+        build_template_query(workload, t_factor, l_factor)
+        for t_factor, l_factor in factors
+    ]
+    stream: List[StreamedQuery] = []
+    for index in range(spec.num_queries):
+        template = int(rng.integers(0, spec.templates))
+        best_effort = bool(rng.random() < spec.best_effort_fraction)
+        stream.append(StreamedQuery(
+            query=queries[template],
+            tenant=f"tenant-{index % spec.tenants}",
+            at=index * spec.arrival_gap,
+            priority=1 if best_effort else 0,
+            template=template,
+        ))
+    return stream

@@ -199,6 +199,20 @@ class SimEngine:
         """Create a FIFO capacity resource bound to this engine."""
         return Resource(self, capacity, name=name)
 
+    def call_at(self, when: float, callback: Callable[[], None]) -> None:
+        """Run ``callback()`` at simulated time ``when`` (>= now).
+
+        The scheduling primitive components outside the process model
+        need — e.g. admission-queue timeout timers, which must fire even
+        though no process is waiting on them.  The callback runs in
+        event order like any process step.
+        """
+        if when < self.now - 1e-12:
+            raise SimulationError(
+                f"call_at({when}) is in the past (now={self.now})"
+            )
+        self._schedule(max(when, self.now), lambda _value: callback(), None)
+
     def process(self, generator: Generator, name: str = "") -> _Process:
         """Register a generator as a process; it starts at the current time."""
         process = _Process(self, generator, name=name)

@@ -19,8 +19,8 @@ by the cost layer from measured volumes) plus two kinds of dependencies:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 from repro.errors import SimulationError
 

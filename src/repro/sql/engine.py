@@ -10,11 +10,11 @@ join strategy, otherwise any registered algorithm name works.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Callable, List, Optional
 
 import numpy as np
 
-from repro.core.advisor import JoinAdvisor, WorkloadEstimate
+from repro.core.advisor import AdvisorDecision, JoinAdvisor, WorkloadEstimate
 from repro.core.joins import JoinResult, algorithm_by_name
 from repro.query.query import HybridQuery
 from repro.relational.schema import Column, DataType
@@ -48,11 +48,22 @@ class SqlResult:
 
 
 class SqlSession:
-    """Executes SQL statements against one hybrid warehouse."""
+    """Executes SQL statements against one hybrid warehouse.
 
-    def __init__(self, warehouse):
+    ``estimate_refiner`` is an optional hook called as
+    ``refiner(query, estimate) -> estimate`` after sampling and before
+    advising — the seam the service plane's execution feedback loop
+    plugs into so observed statistics from completed queries sharpen
+    later advice.
+    """
+
+    def __init__(self, warehouse,
+                 estimate_refiner: Optional[
+                     Callable[[HybridQuery, WorkloadEstimate],
+                              WorkloadEstimate]] = None):
         self.warehouse = warehouse
         self.advisor = JoinAdvisor(warehouse.config)
+        self.estimate_refiner = estimate_refiner
 
     # ------------------------------------------------------------------
     def explain(self, sql: str) -> Translation:
@@ -195,11 +206,21 @@ class SqlSession:
 
     # ------------------------------------------------------------------
     def _advise(self, query: HybridQuery):
-        estimate = self._estimate(query)
-        decision = self.advisor.decide(estimate)
+        decision = self.advise(query)
         return decision.best, decision.rationale
 
-    def _estimate(self, query: HybridQuery) -> WorkloadEstimate:
+    def advise(self, query: HybridQuery) -> AdvisorDecision:
+        """Rank the algorithms for ``query`` from the refined estimate."""
+        return self.advisor.decide(self.estimate(query))
+
+    def estimate(self, query: HybridQuery) -> WorkloadEstimate:
+        """The sampled estimate, passed through the refiner hook."""
+        estimate = self.sample_estimate(query)
+        if self.estimate_refiner is not None:
+            estimate = self.estimate_refiner(query, estimate)
+        return estimate
+
+    def sample_estimate(self, query: HybridQuery) -> WorkloadEstimate:
         """Sample-based selectivity estimation for the advisor.
 
         Samples a slice of each table, applies the local predicates, and

@@ -10,7 +10,7 @@ table's schema and returns an executable
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

@@ -31,13 +31,12 @@ Row values are uniform, as in the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.errors import WorkloadError
-from repro.relational.schema import Column, DataType, Schema
 from repro.relational.table import Table
 
 #: Domain of the independent predicate column.

@@ -44,6 +44,22 @@ class TestDecisions:
         assert values == sorted(values)
         assert ranking[0][0] == "zigzag"
 
+    def test_ranking_deterministic_under_cost_ties(self):
+        """Equal estimates must rank by name, whatever the dict order."""
+        from repro.core.advisor import AdvisorDecision
+
+        forward = AdvisorDecision(
+            best="a", rationale="",
+            estimated_seconds={"a": 10.0, "b": 10.0, "c": 5.0},
+        )
+        backward = AdvisorDecision(
+            best="a", rationale="",
+            estimated_seconds={"c": 5.0, "b": 10.0, "a": 10.0},
+        )
+        expected = [("c", 5.0), ("a", 10.0), ("b", 10.0)]
+        assert forward.ranking() == expected
+        assert backward.ranking() == expected
+
 
 class TestEstimateConsistency:
     def test_all_algorithms_estimated(self, advisor):

@@ -6,11 +6,9 @@ import pytest
 from repro.errors import ExpressionError
 from repro.relational.expressions import (
     BetweenDayDiff,
-    ColumnPredicate,
     CompareOp,
     Conjunction,
     Disjunction,
-    Negation,
     TruePredicate,
     UdfPredicate,
     compare,

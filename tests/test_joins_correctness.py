@@ -14,7 +14,7 @@ from hypothesis import strategies as st
 
 from repro import algorithm_by_name, generate_workload, reference_join
 from repro.workload import WorkloadSpec, build_paper_query
-from tests.conftest import build_test_warehouse, make_test_spec
+from tests.conftest import build_test_warehouse
 
 ALL_ALGORITHMS = [
     "db", "db(BF)", "broadcast", "repartition", "repartition(BF)",

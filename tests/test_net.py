@@ -4,7 +4,7 @@ import pytest
 
 from repro.config import ClusterConfig, MB
 from repro.errors import SimulationError
-from repro.net.topology import Cluster, HybridTopology, default_topology
+from repro.net.topology import Cluster, default_topology
 from repro.net.transfer import (
     TransferPattern,
     broadcast_volume,

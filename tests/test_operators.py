@@ -13,7 +13,6 @@ from repro.relational.operators import (
     semi_join_mask,
     unique_keys,
 )
-from repro.relational.schema import Column, DataType, Schema
 from repro.relational.table import Table
 
 

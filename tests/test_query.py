@@ -1,6 +1,5 @@
 """Tests for the query layer: HybridQuery, plan steps, stats, executor."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ExpressionError
@@ -12,7 +11,6 @@ from repro.query.plan import (
 )
 from repro.query.query import DerivedColumn, HybridQuery
 from repro.query.stats import measure_selectivities, predicate_selectivity
-from repro.relational.aggregates import AggregateSpec
 from repro.relational.expressions import compare
 
 

@@ -1,0 +1,396 @@
+"""Tests for the query-service plane (:mod:`repro.service`).
+
+The integration tests replay the same query stream concurrently and
+serially over one shared warehouse and require bit-identical results —
+the service plane must never change an answer, only its timing.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro import reference_join
+from repro.errors import JoinError, ServiceError
+from repro.service import (
+    AdmissionConfig,
+    AdmissionController,
+    FairSharePolicy,
+    QueryService,
+    ServiceConfig,
+    SharedCluster,
+    StreamSpec,
+    build_template_query,
+    generate_query_stream,
+    schedule_trace,
+)
+from repro.sim.engine import SimEngine
+from repro.sim.trace import Trace
+
+ALL_ALGORITHMS = [
+    "db", "db(BF)", "broadcast", "repartition", "repartition(BF)",
+    "zigzag", "zigzag-db", "semijoin", "perf",
+]
+
+
+def _plain_config(slots: int) -> ServiceConfig:
+    """Caches and feedback off: every submission runs the data plane."""
+    return ServiceConfig(
+        admission=AdmissionConfig(slots=slots, max_queue=64,
+                                  queue_timeout=1e9, shed_fraction=None),
+        enable_result_cache=False,
+        enable_bloom_cache=False,
+        enable_feedback=False,
+    )
+
+
+# ----------------------------------------------------------------------
+# Concurrent == serial == reference, for every algorithm
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def stream_runs(loaded_warehouse, paper_query):
+    """The full algorithm roster run twice: 16 slots, then one."""
+
+    def run(slots):
+        service = QueryService(loaded_warehouse, _plain_config(slots))
+        tickets = {
+            name: service.submit(paper_query, tenant=f"t{index % 3}",
+                                 at=0.0, algorithm=name)
+            for index, name in enumerate(ALL_ALGORITHMS)
+        }
+        return tickets, service.drain()
+
+    return {"concurrent": run(16), "serial": run(1)}
+
+
+@pytest.fixture(scope="module")
+def reference_result(paper_workload, paper_query):
+    return reference_join(
+        paper_workload.t_table, paper_workload.l_table, paper_query
+    )
+
+
+class TestStreamCorrectness:
+    @pytest.mark.parametrize("name", ALL_ALGORITHMS)
+    def test_concurrent_matches_reference(self, name, stream_runs,
+                                          reference_result):
+        tickets, _report = stream_runs["concurrent"]
+        assert tickets[name].result().to_rows() == reference_result.to_rows()
+
+    @pytest.mark.parametrize("name", ALL_ALGORITHMS)
+    def test_serial_matches_concurrent(self, name, stream_runs):
+        concurrent, _ = stream_runs["concurrent"]
+        serial, _ = stream_runs["serial"]
+        assert (serial[name].result().to_rows()
+                == concurrent[name].result().to_rows())
+
+    def test_all_completed(self, stream_runs):
+        for tickets, report in stream_runs.values():
+            assert len(report.completed()) == len(ALL_ALGORITHMS)
+            assert not report.rejected()
+            assert all(ticket.done for ticket in tickets.values())
+
+    def test_sustains_eight_in_flight(self, stream_runs):
+        _tickets, report = stream_runs["concurrent"]
+        gauge = report.metrics.get("admission.in_flight")
+        assert gauge.high >= 8
+
+    def test_serial_never_overlaps(self, stream_runs):
+        _tickets, report = stream_runs["serial"]
+        assert report.metrics.get("admission.in_flight").high == 1
+
+    def test_concurrent_makespan_beats_serial(self, stream_runs):
+        _t, concurrent = stream_runs["concurrent"]
+        _t, serial = stream_runs["serial"]
+        assert concurrent.makespan < serial.makespan
+        # And strictly less than the sum of its own per-query times.
+        assert concurrent.makespan < concurrent.serial_seconds()
+
+    def test_report_renders(self, stream_runs):
+        _tickets, report = stream_runs["concurrent"]
+        text = report.render()
+        assert "completed" in text and "admission.admitted" in text
+        assert report.throughput() > 0
+
+
+# ----------------------------------------------------------------------
+# Semantic caches
+# ----------------------------------------------------------------------
+class TestCaching:
+    def test_result_cache_hit_is_bit_identical(self, loaded_warehouse,
+                                               paper_query,
+                                               reference_result):
+        service = QueryService(loaded_warehouse)
+        first = service.submit(paper_query, algorithm="zigzag")
+        service.drain()
+        repeat = service.submit(paper_query, algorithm="repartition(BF)")
+        report = service.drain()
+        outcome = repeat.outcome
+        assert outcome.cache_hit and outcome.algorithm == "cache"
+        assert repeat.result().to_rows() == first.result().to_rows()
+        assert repeat.result().to_rows() == reference_result.to_rows()
+        # A cache hit never touches either cluster.
+        assert report.makespan == pytest.approx(
+            service.config.cache_hit_seconds)
+        assert service.result_cache.hit_rate() > 0
+
+    def test_bloom_cache_shared_across_plans(self, paper_workload,
+                                             loaded_warehouse):
+        full = build_template_query(paper_workload, 1.0, 1.0)
+        narrowed = build_template_query(paper_workload, 1.0, 0.5)
+        assert full != narrowed
+        service = QueryService(loaded_warehouse)
+        tickets = [service.submit(query, algorithm="zigzag")
+                   for query in (full, narrowed)]
+        service.drain()
+        # Same T predicate + join key => the merged BF(T') is reused.
+        assert service.bloom_builder.cache.hits.value >= 1
+        for ticket, query in zip(tickets, (full, narrowed)):
+            expected = reference_join(
+                paper_workload.t_table, paper_workload.l_table, query
+            )
+            assert ticket.result().to_rows() == expected.to_rows()
+
+    def test_bloom_builder_uninstalled_after_drain(self, loaded_warehouse,
+                                                   paper_query):
+        service = QueryService(loaded_warehouse)
+        service.submit(paper_query, algorithm="broadcast")
+        service.drain()
+        assert "build_global_bloom" not in \
+            loaded_warehouse.database.__dict__
+
+
+# ----------------------------------------------------------------------
+# Submission API
+# ----------------------------------------------------------------------
+class TestSubmission:
+    def test_unknown_algorithm_rejected_at_submit(self, loaded_warehouse,
+                                                  paper_query):
+        service = QueryService(loaded_warehouse)
+        with pytest.raises(JoinError, match="valid names"):
+            service.submit(paper_query, algorithm="hyperjoin")
+
+    def test_negative_arrival_rejected(self, loaded_warehouse, paper_query):
+        service = QueryService(loaded_warehouse)
+        with pytest.raises(ServiceError):
+            service.submit(paper_query, at=-1.0)
+
+    def test_result_before_drain_raises(self, loaded_warehouse,
+                                        paper_query):
+        service = QueryService(loaded_warehouse)
+        ticket = service.submit(paper_query)
+        with pytest.raises(ServiceError, match="not executed"):
+            ticket.result()
+
+    def test_rejected_ticket_raises(self, loaded_warehouse, paper_query):
+        config = ServiceConfig(
+            admission=AdmissionConfig(slots=1, max_queue=0),
+            enable_result_cache=False,
+            enable_bloom_cache=False,
+            enable_feedback=False,
+        )
+        service = QueryService(loaded_warehouse, config)
+        service.submit(paper_query, algorithm="broadcast")
+        loser = service.submit(paper_query, algorithm="broadcast")
+        report = service.drain()
+        assert loser.outcome.status == "rejected"
+        assert loser.outcome.reject_reason == "queue_full"
+        assert len(report.rejected()) == 1
+        with pytest.raises(ServiceError, match="rejected"):
+            loser.result()
+
+
+# ----------------------------------------------------------------------
+# Admission control (driven directly, no data plane)
+# ----------------------------------------------------------------------
+def _outcome(event):
+    assert event.triggered, "admission event should have resolved"
+    return event.value
+
+
+class TestAdmission:
+    def test_immediate_admission_and_queue_full(self):
+        engine = SimEngine()
+        controller = AdmissionController(engine, AdmissionConfig(
+            slots=1, max_queue=1, queue_timeout=100.0, shed_fraction=None))
+        first = controller.request("a")
+        assert _outcome(first).admitted
+        queued = controller.request("a")
+        assert not queued.triggered
+        assert controller.queue_depth == 1
+        overflow = controller.request("a")
+        assert _outcome(overflow).reason == "queue_full"
+        controller.release(_outcome(first).grant)
+        assert _outcome(queued).admitted
+        assert controller.in_flight == 1
+
+    def test_queue_timeout(self):
+        engine = SimEngine()
+        controller = AdmissionController(engine, AdmissionConfig(
+            slots=1, max_queue=8, queue_timeout=50.0, shed_fraction=None))
+        controller.request("a")
+        starved = controller.request("b")
+        engine.run()
+        outcome = _outcome(starved)
+        assert not outcome.admitted and outcome.reason == "timeout"
+        assert outcome.queued_seconds == pytest.approx(50.0)
+
+    def test_tenant_quota_queues_despite_free_slots(self):
+        engine = SimEngine()
+        controller = AdmissionController(engine, AdmissionConfig(
+            slots=4, max_queue=8, queue_timeout=1e9, tenant_quota=1,
+            shed_fraction=None))
+        first = controller.request("a")
+        assert _outcome(first).admitted
+        second = controller.request("a")
+        assert not second.triggered  # over quota, slots free
+        other = controller.request("b")
+        assert _outcome(other).admitted
+        controller.release(_outcome(first).grant)
+        assert _outcome(second).admitted
+
+    def test_overload_sheds_best_effort_only(self):
+        engine = SimEngine()
+        controller = AdmissionController(engine, AdmissionConfig(
+            slots=1, max_queue=4, queue_timeout=1e9, shed_fraction=0.5))
+        controller.request("a")
+        controller.request("a")
+        controller.request("a")  # queue depth now 2 = 0.5 * 4
+        shed = controller.request("b", priority=1)
+        assert _outcome(shed).reason == "overload_shed"
+        interactive = controller.request("b", priority=0)
+        assert not interactive.triggered  # still queued, not shed
+
+    def test_double_release_raises(self):
+        engine = SimEngine()
+        controller = AdmissionController(engine, AdmissionConfig(slots=1))
+        grant = _outcome(controller.request("a")).grant
+        controller.release(grant)
+        with pytest.raises(ServiceError, match="released twice"):
+            controller.release(grant)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"slots": 0},
+        {"max_queue": -1},
+        {"queue_timeout": 0.0},
+        {"tenant_quota": 0},
+        {"shed_fraction": 1.5},
+    ])
+    def test_config_validation(self, kwargs):
+        with pytest.raises(ServiceError):
+            AdmissionConfig(**kwargs)
+
+
+class TestFairSharePolicy:
+    @staticmethod
+    def _request(priority, tenant, seq):
+        return SimpleNamespace(priority=priority, tenant=tenant, seq=seq)
+
+    def test_priority_beats_fairness(self):
+        policy = FairSharePolicy()
+        pending = [self._request(1, "idle", 0), self._request(0, "busy", 1)]
+        assert policy.select(pending, {"busy": 5}) == 1
+
+    def test_fair_share_breaks_priority_ties(self):
+        policy = FairSharePolicy()
+        pending = [self._request(0, "busy", 0), self._request(0, "idle", 1)]
+        assert policy.select(pending, {"busy": 3, "idle": 0}) == 1
+
+    def test_fifo_breaks_full_ties(self):
+        policy = FairSharePolicy()
+        pending = [self._request(0, "a", 7), self._request(0, "a", 3)]
+        assert policy.select(pending, {}) == 1
+
+    def test_empty(self):
+        assert FairSharePolicy().select([], {}) is None
+
+
+# ----------------------------------------------------------------------
+# Shared-cluster scheduling
+# ----------------------------------------------------------------------
+class TestSharedScheduling:
+    def test_different_classes_overlap(self):
+        engine = SimEngine()
+        cluster = SharedCluster(engine)
+        scan = Trace("scan")
+        scan.add("hdfs_scan", "hdfs_scan", 100.0)
+        export = Trace("export")
+        export.add("db_filter", "db_scan", 80.0)
+        schedule_trace(engine, cluster, scan, chunks=4, label="a")
+        schedule_trace(engine, cluster, export, chunks=4, label="b")
+        assert engine.run() == pytest.approx(100.0)
+
+    def test_same_class_serialises(self):
+        engine = SimEngine()
+        cluster = SharedCluster(engine)
+        for label in ("a", "b"):
+            trace = Trace(label)
+            trace.add("hdfs_scan", "hdfs_scan", 100.0)
+            schedule_trace(engine, cluster, trace, chunks=4, label=label)
+        assert engine.run() == pytest.approx(200.0)
+
+    def test_latency_phases_never_contend(self):
+        engine = SimEngine()
+        cluster = SharedCluster(engine)
+        for label in ("a", "b", "c"):
+            trace = Trace(label)
+            trace.add("startup", "latency", 10.0)
+            schedule_trace(engine, cluster, trace, chunks=2, label=label)
+        assert engine.run() == pytest.approx(10.0)
+
+    def test_streaming_pipelines_within_a_query(self):
+        engine = SimEngine()
+        cluster = SharedCluster(engine)
+        trace = Trace("pipe")
+        trace.add("hdfs_scan", "hdfs_scan", 100.0)
+        trace.add("shuffle", "shuffle", 50.0, streams_from=["hdfs_scan"])
+        run = schedule_trace(engine, cluster, trace, chunks=4)
+        # The consumer's last chunk waits on the producer's: the shuffle
+        # finishes one chunk (50/4 s) after the scan, not 50 s after.
+        assert engine.run() == pytest.approx(100.0 + 50.0 / 4)
+        assert run.finished and run.end_time == pytest.approx(112.5)
+
+    def test_barrier_dependencies_respected(self):
+        engine = SimEngine()
+        cluster = SharedCluster(engine)
+        trace = Trace("chain")
+        trace.add("hdfs_scan", "hdfs_scan", 30.0)
+        trace.add("bf_send", "bloom", 5.0, after=["hdfs_scan"])
+        run = schedule_trace(engine, cluster, trace, chunks=4)
+        engine.run()
+        assert run.timings["bf_send"].start == pytest.approx(30.0)
+
+    def test_rejects_bad_arguments(self):
+        engine = SimEngine()
+        with pytest.raises(ServiceError):
+            SharedCluster(engine, edw_slots=0)
+        cluster = SharedCluster(engine)
+        with pytest.raises(ServiceError):
+            schedule_trace(engine, cluster, Trace("x"), chunks=0)
+
+
+# ----------------------------------------------------------------------
+# Stream generation
+# ----------------------------------------------------------------------
+class TestStreams:
+    def test_deterministic_and_round_robin(self, paper_workload):
+        spec = StreamSpec(num_queries=12, templates=3, tenants=3, seed=5)
+        first = generate_query_stream(paper_workload, spec)
+        second = generate_query_stream(paper_workload, spec)
+        assert first == second
+        assert [item.tenant for item in first[:3]] == [
+            "tenant-0", "tenant-1", "tenant-2"]
+        assert {item.template for item in first} <= {0, 1, 2}
+        assert [item.at for item in first] == [
+            index * spec.arrival_gap for index in range(12)]
+
+    def test_template_zero_is_the_paper_query(self, paper_workload,
+                                              paper_query):
+        assert build_template_query(paper_workload, 1.0, 1.0) == paper_query
+
+    def test_bad_factors_rejected(self, paper_workload):
+        with pytest.raises(ServiceError):
+            build_template_query(paper_workload, 0.0, 1.0)
+        with pytest.raises(ServiceError):
+            StreamSpec(num_queries=0)

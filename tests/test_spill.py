@@ -9,7 +9,6 @@ from repro import algorithm_by_name, default_config, reference_join
 from repro.errors import JoinError
 from repro.jen.spill import (
     fragment_hash_partition,
-    fragment_tables,
     plan_spill,
 )
 from tests.conftest import TEST_SCALE, build_test_warehouse

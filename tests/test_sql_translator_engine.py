@@ -1,6 +1,5 @@
 """Tests for SQL translation and the SqlSession execution engine."""
 
-import numpy as np
 import pytest
 
 from repro import build_paper_query, reference_join

@@ -9,8 +9,6 @@ from repro.relational.expressions import compare
 from repro.relational.operators import join_tables
 from repro.relational.schema import Column, DataType, Schema
 from repro.relational.table import Table
-from repro.query.query import HybridQuery
-from repro.relational.aggregates import AggregateSpec
 from tests.conftest import build_test_warehouse
 
 
