@@ -1,0 +1,131 @@
+"""Chaos benchmarks: recovery latency vs the fault-free makespan.
+
+Runs representative join algorithms under each fault class of the
+chaos suite and reports, per (algorithm, fault) cell, the fault-free
+simulated makespan, the faulted makespan, the absolute and relative
+recovery overhead, and the recovery actions charged on the trace.
+Results must stay bit-identical to the fault-free run — this benchmark
+measures the *cost* of surviving, not whether we survive (the chaos
+battery in tests/test_chaos.py owns that).
+
+Reports are persisted to ``benchmarks/results/chaos_<algorithm>.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    HybridWarehouse,
+    WorkloadSpec,
+    algorithm_by_name,
+    build_paper_query,
+    default_config,
+    generate_workload,
+)
+from repro.faults import FaultPlan
+
+#: Same materialised scale as the test suite: 1/50,000 of the paper.
+SCALE = 1.0 / 50_000.0
+
+#: The fault grid: one entry per recovery path the engine implements.
+FAULT_SPECS = (
+    ("crash-scan", "crash:w7@scan"),
+    ("crash-shuffle", "crash:w3@shuffle"),
+    ("straggler", "slow:w5x4"),
+    ("lossy-shuffle", "drop:shuffle:0.05"),
+    ("lossy-transfer", "drop:transfer:0.1"),
+    ("combo", "crash:w7@scan,slow:w5x4,drop:shuffle:0.02"),
+)
+
+ALGORITHMS = ("zigzag", "repartition(BF)", "db(BF)", "broadcast")
+
+
+@pytest.fixture(scope="module")
+def chaos_setup():
+    workload = generate_workload(WorkloadSpec(
+        sigma_t=0.1, sigma_l=0.4, s_t=0.2, s_l=0.1,
+        t_rows=32_000, l_rows=300_000, n_keys=320, n_urls=120, seed=42,
+    ))
+    warehouse = HybridWarehouse(default_config(scale=SCALE))
+    warehouse.load_db_table("T", workload.t_table, distribute_on="uniqKey")
+    warehouse.database.create_index("T", "idx_pred",
+                                    ["corPred", "indPred"])
+    warehouse.database.create_index(
+        "T", "idx_bloom", ["corPred", "indPred", "joinKey"]
+    )
+    warehouse.load_hdfs_table("L", workload.l_table, "parquet")
+    return warehouse, build_paper_query(workload)
+
+
+def _run_grid(warehouse, query, algorithm):
+    """One algorithm through the whole fault grid."""
+    baseline = algorithm_by_name(algorithm).run(warehouse, query)
+    cells = []
+    for fault_name, spec in FAULT_SPECS:
+        injector = warehouse.arm_faults(FaultPlan.from_spec(spec))
+        try:
+            faulted = algorithm_by_name(algorithm).run(warehouse, query)
+        finally:
+            warehouse.disarm_faults()
+        recovery = [p for p in faulted.trace if p.kind == "recovery"]
+        cells.append({
+            "fault": fault_name,
+            "spec": spec,
+            "identical": faulted.result.to_rows()
+            == baseline.result.to_rows(),
+            "seconds": faulted.total_seconds,
+            "recovery_phases": len(recovery),
+            "recovery_work": sum(p.seconds for p in recovery),
+            "counters": {name: value
+                         for name, value in injector.counters().items()
+                         if value},
+        })
+    return baseline, cells
+
+
+def _report_lines(algorithm, baseline, cells):
+    lines = [
+        f"chaos recovery overhead: {algorithm} "
+        f"(fault-free {baseline.total_seconds:.1f}s)",
+        f"  {'fault':<16s} {'makespan':>9s} {'overhead':>9s} "
+        f"{'rel':>7s} {'phases':>7s} {'work':>7s}",
+    ]
+    for cell in cells:
+        overhead = cell["seconds"] - baseline.total_seconds
+        relative = overhead / baseline.total_seconds
+        lines.append(
+            f"  {cell['fault']:<16s} {cell['seconds']:>8.1f}s "
+            f"{overhead:>+8.1f}s {relative:>+6.1%} "
+            f"{cell['recovery_phases']:>7d} "
+            f"{cell['recovery_work']:>6.1f}s"
+        )
+        if cell["counters"]:
+            lines.append("    " + ", ".join(
+                f"{name}={value}"
+                for name, value in sorted(cell["counters"].items())
+            ))
+    return lines
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_recovery_overhead(benchmark, chaos_setup, results_dir,
+                           algorithm):
+    warehouse, query = chaos_setup
+    baseline, cells = benchmark.pedantic(
+        lambda: _run_grid(warehouse, query, algorithm),
+        rounds=1, iterations=1,
+    )
+    safe_name = algorithm.replace("(", "_").replace(")", "")
+    report = "\n".join(_report_lines(algorithm, baseline, cells))
+    (results_dir / f"chaos_{safe_name}.txt").write_text(report + "\n")
+    print()
+    print(report)
+
+    for cell in cells:
+        assert cell["identical"], (algorithm, cell["fault"])
+        # Recovery never makes the query faster than fault-free.
+        assert cell["seconds"] >= baseline.total_seconds - 1e-9
+    # At least one fault class must charge visible recovery work
+    # (some hide entirely under the other plane's critical path).
+    assert any(cell["recovery_work"] > 0 for cell in cells), algorithm

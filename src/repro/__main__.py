@@ -31,6 +31,7 @@ from repro import (
 )
 from repro.errors import JoinError, ServiceError
 from repro.sql import SqlSession
+from repro.sql.lexer import SqlError
 from repro.workload import build_paper_query
 
 
@@ -85,7 +86,11 @@ def _cmd_sql(args) -> int:
             return 2
     warehouse, _workload = _demo_warehouse()
     session = SqlSession(warehouse)
-    result = session.execute(sql, algorithm=args.algorithm)
+    try:
+        result = session.execute(sql, algorithm=args.algorithm)
+    except SqlError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(f"algorithm: {result.algorithm}"
           + (f"  ({result.advisor_rationale})"
              if result.advisor_rationale else ""))
@@ -137,6 +142,60 @@ def _cmd_serve(args) -> int:
           f"{args.slots} admission slots)\n")
     report = service.drain()
     print(report.render())
+    return 0
+
+
+def _cmd_chaos(args) -> int:
+    from repro.errors import FaultError, FaultSpecError
+    from repro.faults import FaultPlan
+    from repro.query.executor import reference_join
+
+    try:
+        plan = FaultPlan.from_spec(args.faults, seed=args.seed)
+    except FaultSpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for name in args.algorithms:
+        try:
+            algorithm_by_name(name)
+        except JoinError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    warehouse, workload = _demo_warehouse()
+    query = build_paper_query(workload)
+    expected = reference_join(
+        workload.t_table, workload.l_table, query
+    ).to_rows()
+    print(f"chaos run: {plan}\n")
+    mismatches = 0
+    for name in args.algorithms:
+        baseline = algorithm_by_name(name).run(warehouse, query)
+        injector = warehouse.arm_faults(plan)
+        try:
+            faulted = algorithm_by_name(name).run(warehouse, query)
+        except FaultError as exc:
+            print(f"{name:<18s} UNRECOVERABLE: {type(exc).__name__}: {exc}")
+            warehouse.disarm_faults()
+            continue
+        warehouse.disarm_faults()
+        identical = faulted.result.to_rows() == expected
+        if not identical:
+            mismatches += 1
+        recovery = [phase for phase in faulted.trace
+                    if phase.kind == "recovery"]
+        print(f"{name:<18s} fault-free={baseline.total_seconds:8.1f}s  "
+              f"faulted={faulted.total_seconds:8.1f}s  "
+              f"overhead={faulted.total_seconds - baseline.total_seconds:+8.1f}s  "
+              f"result={'identical' if identical else 'MISMATCH'}")
+        for phase in recovery:
+            print(f"    +{phase.seconds:7.1f}s {phase.description}")
+        for line in injector.report().splitlines()[1:]:
+            print(f"  {line}")
+        print()
+    if mismatches:
+        print(f"{mismatches} algorithm(s) diverged from the reference join",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -227,6 +286,20 @@ def main(argv=None) -> int:
     serve_parser.add_argument("--algorithm", default="auto")
     serve_parser.add_argument("--seed", type=int, default=11)
 
+    chaos_parser = subparsers.add_parser(
+        "chaos", help="run the workload under an injected fault plan and "
+                      "report recovery actions + time overhead"
+    )
+    chaos_parser.add_argument(
+        "--faults", required=True,
+        help="fault spec, e.g. 'crash:w7@scan,slow:w3x5,drop:shuffle:0.01'",
+    )
+    chaos_parser.add_argument(
+        "--algorithms", nargs="+",
+        default=["zigzag", "repartition(BF)", "db(BF)", "broadcast"],
+    )
+    chaos_parser.add_argument("--seed", type=int, default=11)
+
     advise_parser = subparsers.add_parser(
         "advise", help="rank the algorithms for estimated selectivities"
     )
@@ -264,6 +337,7 @@ def main(argv=None) -> int:
         "demo": _cmd_demo,
         "sql": _cmd_sql,
         "serve": _cmd_serve,
+        "chaos": _cmd_chaos,
         "advise": _cmd_advise,
         "sweep": _cmd_sweep,
         "experiments": _cmd_experiments,

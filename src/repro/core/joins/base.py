@@ -51,6 +51,9 @@ class JoinStats:
     result_rows: float = 0.0
     #: Tuples written to and re-read from disk by spilling JEN joins.
     spilled_tuples: float = 0.0
+    #: Partial scan output lost to injected worker crashes (wasted work,
+    #: not double-counted in ``hdfs_rows_scanned``).
+    hdfs_rows_discarded: float = 0.0
 
     def scaled(self, multiplier: float) -> "JoinStats":
         """Counts multiplied up to paper scale (Bloom bytes unchanged)."""
@@ -121,7 +124,16 @@ class JoinAlgorithm:
 
     def _finish(self, warehouse, query: HybridQuery, result: Table,
                 stats: JoinStats, trace: Trace) -> JoinResult:
-        """Replay the trace and assemble the result object."""
+        """Replay the trace and assemble the result object.
+
+        If a fault plan is armed, the recovery actions the engine
+        accumulated (re-scans, retries, speculation) are materialised as
+        ``recovery`` phases first, so the replayed makespan pays for
+        them and the Gantt timeline shows them.
+        """
+        injector = getattr(warehouse.jen, "injector", None)
+        if injector is not None and injector.armed:
+            injector.charge_trace(trace)
         timing = replay_trace(trace)
         return JoinResult(
             algorithm=self.name,
@@ -235,6 +247,7 @@ class JoinAlgorithm:
         stats.hdfs_stored_bytes_scanned = scan.stats.stored_bytes_scanned
         stats.hdfs_rows_after_predicates = scan.stats.rows_after_predicates
         stats.hdfs_rows_after_bloom = scan.stats.rows_after_bloom
+        stats.hdfs_rows_discarded += scan.stats.rows_discarded
         meta = warehouse.hdfs.table_meta(query.hdfs_table)
         total_blocks = scan.stats.local_blocks + scan.stats.remote_blocks
         remote_fraction = (

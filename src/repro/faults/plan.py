@@ -1,0 +1,253 @@
+"""Deterministic fault plans: what goes wrong, where, and when.
+
+A :class:`FaultPlan` is parsed from a compact spec string and fully
+determines — together with its seed — every fault the injector will
+fire during a query.  The grammar is a comma-separated list of events::
+
+    crash:w7@scan        worker 7 dies partway through its scan tasks
+    crash:w2@shuffle     worker 2 dies during the shuffle (its filtered
+                         rows are lost and must be re-produced)
+    slow:w3x5            worker 3 runs 5x slower (straggler); the
+                         coordinator speculates a backup copy when the
+                         factor reaches the speculation threshold
+    drop:shuffle:0.01    each shuffle message is lost with p = 0.01
+    trunc:shuffle:0.01   ... truncated in flight with p = 0.01
+    dup:shuffle:0.02     ... delivered twice (lost ACK) with p = 0.02
+    drop:transfer:0.05   same, for DB<->JEN transfer messages
+    spill:x0.5           squeeze the per-worker join memory budget to
+                         half the largest build side (forces Grace-hash
+                         fragmenting)
+    abort:scan:1         kill the whole query at scan start, once (the
+                         service plane re-admits it)
+
+Crash and abort events fire exactly once; message-level events are
+evaluated per message with a seeded RNG, so the same plan and seed
+always produce the same faults — chaos runs are reproducible bit for
+bit.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import FaultSpecError
+
+#: Phases a crash or abort event can target.
+CRASH_PHASES = ("scan", "shuffle")
+ABORT_PHASES = ("scan", "shuffle", "join")
+#: Logical message channels faults can degrade.
+CHANNELS = ("shuffle", "transfer")
+#: Message-event kinds.
+MESSAGE_KINDS = ("drop", "trunc", "dup")
+
+_CRASH_RE = re.compile(r"^w(\d+)@([a-z]+)$")
+_SLOW_RE = re.compile(r"^w(\d+)x(\d+(?:\.\d+)?)$")
+_SPILL_RE = re.compile(r"^x(\d+(?:\.\d+)?)$")
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """One worker dies mid-query, in the given phase.  Fires once."""
+
+    worker: int
+    phase: str
+
+    def spec(self) -> str:
+        """Spec-string rendering."""
+        return f"crash:w{self.worker}@{self.phase}"
+
+
+@dataclass(frozen=True)
+class SlowEvent:
+    """One worker is a straggler, slowed by ``factor``."""
+
+    worker: int
+    factor: float
+
+    def spec(self) -> str:
+        """Spec-string rendering."""
+        return f"slow:w{self.worker}x{self.factor:g}"
+
+
+@dataclass(frozen=True)
+class MessageEvent:
+    """Per-message degradation of one channel with probability ``prob``."""
+
+    kind: str        # "drop", "trunc" or "dup"
+    channel: str     # "shuffle" or "transfer"
+    prob: float
+
+    def spec(self) -> str:
+        """Spec-string rendering."""
+        return f"{self.kind}:{self.channel}:{self.prob:g}"
+
+
+@dataclass(frozen=True)
+class SpillEvent:
+    """Memory pressure: budget = factor * largest build side."""
+
+    factor: float
+
+    def spec(self) -> str:
+        """Spec-string rendering."""
+        return f"spill:x{self.factor:g}"
+
+
+@dataclass(frozen=True)
+class AbortEvent:
+    """Kill the whole query at phase entry, ``count`` times."""
+
+    phase: str
+    count: int
+
+    def spec(self) -> str:
+        """Spec-string rendering."""
+        return f"abort:{self.phase}:{self.count}"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A parsed, seeded, reproducible schedule of faults for one query."""
+
+    events: Tuple[object, ...] = ()
+    seed: int = 11
+
+    @classmethod
+    def from_spec(cls, spec: str, seed: int = 11) -> "FaultPlan":
+        """Parse a comma-separated spec string (see module docstring)."""
+        events = []
+        crashes: Dict[int, str] = {}
+        for raw in spec.split(","):
+            part = raw.strip()
+            if not part:
+                continue
+            events.append(_parse_event(part, crashes))
+        if not events:
+            raise FaultSpecError(f"empty fault spec {spec!r}")
+        return cls(events=tuple(events), seed=seed)
+
+    def spec(self) -> str:
+        """Canonical spec string (round-trips through :meth:`from_spec`)."""
+        return ",".join(event.spec() for event in self.events)
+
+    def __str__(self) -> str:
+        return f"FaultPlan({self.spec()!r}, seed={self.seed})"
+
+    # -- typed views ----------------------------------------------------
+    def crash_events(self) -> Tuple[CrashEvent, ...]:
+        """The worker-crash events, in spec order."""
+        return tuple(e for e in self.events if isinstance(e, CrashEvent))
+
+    def slow_events(self) -> Tuple[SlowEvent, ...]:
+        """The straggler events, in spec order."""
+        return tuple(e for e in self.events if isinstance(e, SlowEvent))
+
+    def message_events(self, channel: str) -> Tuple[MessageEvent, ...]:
+        """Message events targeting ``channel``, in spec order."""
+        return tuple(
+            e for e in self.events
+            if isinstance(e, MessageEvent) and e.channel == channel
+        )
+
+    def spill_factor(self) -> float:
+        """The spill-pressure factor (0 disables the event)."""
+        for event in self.events:
+            if isinstance(event, SpillEvent):
+                return event.factor
+        return 0.0
+
+    def abort_counts(self) -> Dict[str, int]:
+        """phase -> number of injected query aborts."""
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            if isinstance(event, AbortEvent):
+                counts[event.phase] = counts.get(event.phase, 0) + event.count
+        return counts
+
+
+def _parse_event(part: str, crashes: Dict[int, str]):
+    """Parse one ``kind:detail`` clause of a fault spec."""
+    kind, _, detail = part.partition(":")
+    kind = kind.strip().lower()
+    detail = detail.strip()
+    if not detail:
+        raise FaultSpecError(f"fault event {part!r} is missing its detail")
+    if kind == "crash":
+        match = _CRASH_RE.match(detail)
+        if not match:
+            raise FaultSpecError(
+                f"bad crash event {part!r}; expected crash:w<id>@<phase>"
+            )
+        worker, phase = int(match.group(1)), match.group(2)
+        if phase not in CRASH_PHASES:
+            raise FaultSpecError(
+                f"bad crash phase {phase!r} in {part!r}; "
+                f"valid phases: {', '.join(CRASH_PHASES)}"
+            )
+        if worker in crashes:
+            raise FaultSpecError(
+                f"worker {worker} already crashes @{crashes[worker]}; "
+                "a worker can only die once"
+            )
+        crashes[worker] = phase
+        return CrashEvent(worker=worker, phase=phase)
+    if kind == "slow":
+        match = _SLOW_RE.match(detail)
+        if not match:
+            raise FaultSpecError(
+                f"bad straggler event {part!r}; expected slow:w<id>x<factor>"
+            )
+        factor = float(match.group(2))
+        if factor < 1.0:
+            raise FaultSpecError(
+                f"straggler factor must be >= 1, got {factor} in {part!r}"
+            )
+        return SlowEvent(worker=int(match.group(1)), factor=factor)
+    if kind in MESSAGE_KINDS:
+        channel, _, prob_text = detail.partition(":")
+        if channel not in CHANNELS:
+            raise FaultSpecError(
+                f"bad channel {channel!r} in {part!r}; "
+                f"valid channels: {', '.join(CHANNELS)}"
+            )
+        try:
+            prob = float(prob_text)
+        except ValueError:
+            raise FaultSpecError(
+                f"bad probability {prob_text!r} in {part!r}"
+            ) from None
+        if not 0.0 < prob <= 1.0:
+            raise FaultSpecError(
+                f"probability must be in (0, 1], got {prob} in {part!r}"
+            )
+        return MessageEvent(kind=kind, channel=channel, prob=prob)
+    if kind == "spill":
+        match = _SPILL_RE.match(detail)
+        if not match or float(match.group(1)) <= 0:
+            raise FaultSpecError(
+                f"bad spill event {part!r}; expected spill:x<factor> "
+                "with factor > 0"
+            )
+        return SpillEvent(factor=float(match.group(1)))
+    if kind == "abort":
+        phase, _, count_text = detail.partition(":")
+        if phase not in ABORT_PHASES:
+            raise FaultSpecError(
+                f"bad abort phase {phase!r} in {part!r}; "
+                f"valid phases: {', '.join(ABORT_PHASES)}"
+            )
+        try:
+            count = int(count_text) if count_text else 1
+        except ValueError:
+            raise FaultSpecError(
+                f"bad abort count {count_text!r} in {part!r}"
+            ) from None
+        if count < 1:
+            raise FaultSpecError(f"abort count must be >= 1 in {part!r}")
+        return AbortEvent(phase=phase, count=count)
+    raise FaultSpecError(
+        f"unknown fault kind {kind!r} in {part!r}; valid kinds: "
+        "crash, slow, drop, trunc, dup, spill, abort"
+    )

@@ -12,7 +12,7 @@ Three responsibilities, reproduced directly:
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from repro.errors import CatalogError
 from repro.hdfs.filesystem import HdfsFileSystem, HdfsTableMeta
@@ -49,6 +49,42 @@ class JenCoordinator:
         self._live_workers[worker_id] = up
         # Any cached assignment is invalid once membership changes.
         self._assignments.clear()
+
+    def reassign_blocks(self, dead_worker: int, blocks
+                        ) -> List[Tuple[int, List]]:
+        """Redistribute a crashed worker's blocks over the survivors.
+
+        Called mid-scan when a fault plan kills ``dead_worker``: its
+        partial output is discarded, so *all* of its blocks (scanned and
+        un-scanned alike) are dealt round-robin to the live workers.
+        Returns ``(survivor_id, blocks)`` pairs, deterministically
+        ordered, omitting survivors with nothing to do.
+        """
+        survivors = [worker for worker in self.live_workers()
+                     if worker != dead_worker]
+        if not survivors:
+            raise CatalogError(
+                f"no survivors to take over worker {dead_worker}'s blocks"
+            )
+        per_survivor: Dict[int, List] = {worker: [] for worker in survivors}
+        for position, block in enumerate(blocks):
+            per_survivor[survivors[position % len(survivors)]].append(block)
+        return [(worker, assigned)
+                for worker, assigned in per_survivor.items() if assigned]
+
+    def speculative_worker(self, straggler: int) -> int:
+        """The worker that runs a backup copy of a straggler's task.
+
+        The least-loaded policy degenerates to "lowest live id that is
+        not the straggler" here, because scan assignments are balanced;
+        raises when the straggler is the only worker left.
+        """
+        for worker in self.live_workers():
+            if worker != straggler:
+                return worker
+        raise CatalogError(
+            f"no worker available to speculate for straggler {straggler}"
+        )
 
     # ------------------------------------------------------------------
     # Metadata + scheduling

@@ -4,20 +4,32 @@ Join algorithms talk to this class: it wires the coordinator and the
 workers, runs distributed scans (optionally with a pushed-down database
 Bloom filter and/or a local Bloom-filter build), executes the agreed-hash
 shuffle, and finishes local joins with partial plus final aggregation.
+
+Fault tolerance: arming a :class:`~repro.faults.FaultPlan` (via
+:meth:`Jen.arm_faults`) turns on mid-query failure handling.  Scans run
+as a work queue — when an injected crash kills a worker, its partial
+output is discarded and the coordinator deals its blocks to the
+survivors; shuffle-time crashes re-produce the victim's filtered rows on
+a survivor; message drops retry with backoff and re-delivered partitions
+are suppressed by the receivers.  Results stay bit-identical to the
+fault-free run while every recovery is charged on the trace.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.config import HybridConfig
 from repro.core.bloom import BloomFilter
-from repro.errors import JoinError
-from repro.hdfs.filesystem import HdfsFileSystem
+from repro.errors import CatalogError, FaultError, JoinError, WorkerCrashError
+from repro.faults import CrashSignal, FaultInjector, FaultPlan, ScanFaultHook
+from repro.hdfs.filesystem import HdfsFileSystem, HdfsTableMeta
 from repro.jen.coordinator import JenCoordinator
 from repro.jen.exchange import ShuffleResult, combine_blooms, final_aggregate, shuffle
 from repro.jen.worker import JenWorker, ScanRequest, ScanStats
+from repro.net.transfer import RetryPolicy
 from repro.relational.table import Table
 from repro.query.plan import local_join, local_partial_aggregate
 from repro.query.query import HybridQuery
@@ -68,12 +80,17 @@ class Jen:
             JenWorker(worker_id, filesystem)
             for worker_id in range(num_workers)
         ]
+        self._scan_depth = 0
+        self._injector: Optional[FaultInjector] = None
 
     @property
     def num_workers(self) -> int:
         """Number of live JEN workers."""
         return len(self.workers)
 
+    # ------------------------------------------------------------------
+    # Worker membership + fault plans
+    # ------------------------------------------------------------------
     def fail_worker(self, worker_id: int) -> None:
         """Take one worker out of service (paper Section 4.1: the
         coordinator manages worker state "so that workers know which
@@ -81,11 +98,74 @@ class Jen:
 
         Subsequent scans re-plan over the survivors; blocks whose only
         local replica sat on the dead node are read remotely.
+
+        Mid-scan failures must be driven by an armed
+        :class:`~repro.faults.FaultPlan` (``crash:w<id>@scan``) so the
+        engine can recover deterministically; calling this while a scan
+        is in flight without one raises :class:`~repro.errors.FaultError`.
         """
         if not any(w.worker_id == worker_id for w in self.workers):
             raise JoinError(f"no live JEN worker {worker_id}")
         if len(self.workers) == 1:
             raise JoinError("cannot fail the last JEN worker")
+        if self._scan_depth > 0 and self._active_injector() is None:
+            raise FaultError(
+                f"a scan is in flight: failing worker {worker_id} now has "
+                "no defined semantics — inject the crash through an armed "
+                "FaultPlan (Jen.arm_faults('crash:w"
+                f"{worker_id}@scan')) so the engine can recover, or fail "
+                "the worker between queries"
+            )
+        self._remove_worker(worker_id)
+
+    def restore_workers(self) -> None:
+        """Bring the cluster back to full strength (chaos-run helper).
+
+        Re-creates the configured worker set and marks everyone up, so
+        one warehouse can host many fault scenarios back to back.
+        """
+        if self._scan_depth > 0:
+            raise JoinError("cannot restore workers mid-scan")
+        num_workers = self.config.cluster.jen_workers()
+        self.workers = [
+            JenWorker(worker_id, self.filesystem)
+            for worker_id in range(num_workers)
+        ]
+        for worker_id in range(num_workers):
+            self.coordinator.mark_worker(worker_id, up=True)
+
+    def arm_faults(self, plan: Union[FaultPlan, str], seed: int = 11,
+                   retry_policy: Optional[RetryPolicy] = None,
+                   detect_fraction: float = 0.25) -> FaultInjector:
+        """Arm a fault plan (object or spec string) for subsequent runs.
+
+        Returns the :class:`~repro.faults.FaultInjector`, whose fired
+        log, counters and :meth:`~repro.faults.FaultInjector.report`
+        describe everything that happened.
+        """
+        if isinstance(plan, str):
+            plan = FaultPlan.from_spec(plan, seed=seed)
+        self._injector = FaultInjector(
+            plan, retry_policy=retry_policy,
+            detect_fraction=detect_fraction,
+        )
+        return self._injector
+
+    def disarm_faults(self) -> None:
+        """Drop the armed fault plan (fault-free runs again)."""
+        self._injector = None
+
+    @property
+    def injector(self) -> Optional[FaultInjector]:
+        """The armed fault injector, if any."""
+        return self._injector
+
+    def _active_injector(self) -> Optional[FaultInjector]:
+        if self._injector is not None and self._injector.armed:
+            return self._injector
+        return None
+
+    def _remove_worker(self, worker_id: int) -> None:
         self.workers = [
             worker for worker in self.workers
             if worker.worker_id != worker_id
@@ -123,47 +203,205 @@ class Jen:
         bloom_seed: int = 11,
     ) -> DistributedScanResult:
         """Query-independent distributed scan (the read_hdfs path)."""
+        injector = self._active_injector()
+        if injector is not None:
+            injector.check_abort("scan")
         meta = self.coordinator.table_meta(table_name)
-        assignment = self.coordinator.plan_scan(table_name)
-        local_blooms: Optional[List[BloomFilter]] = None
+        self._scan_depth += 1
+        try:
+            return self._run_scan_queue(
+                meta, request, db_bloom, build_local_blooms, bloom_seed,
+                injector,
+            )
+        finally:
+            self._scan_depth -= 1
+
+    def _run_scan_queue(
+        self,
+        meta: HdfsTableMeta,
+        request: ScanRequest,
+        db_bloom: Optional[BloomFilter],
+        build_local_blooms: bool,
+        bloom_seed: int,
+        injector: Optional[FaultInjector],
+    ) -> DistributedScanResult:
+        """The scan as a work queue of (worker, blocks) tasks.
+
+        Fault-free this degenerates to one task per worker, exactly the
+        original single-pass scan.  With an armed injector, a crashing
+        worker's task raises mid-loop: its partial output is discarded
+        and its blocks come back as recovery tasks on the survivors, so
+        every block is scanned into the result exactly once.
+        """
+        assignment = self.coordinator.plan_scan(meta.name)
+        blooms: Dict[int, BloomFilter] = {}
         if build_local_blooms:
-            local_blooms = [
-                BloomFilter(
+            blooms = {
+                worker.worker_id: BloomFilter(
                     self.config.bloom_bits(),
                     self.config.bloom.num_hashes,
                     seed=bloom_seed,
                 )
-                for _ in self.workers
-            ]
-        wire_tables: List[Table] = []
+                for worker in self.workers
+            }
+        tasks = deque(
+            (worker, list(assignment.blocks_for(worker.worker_id)))
+            for worker in self.workers
+        )
+        pieces: Dict[int, List[Table]] = {
+            worker.worker_id: [] for worker in self.workers
+        }
         merged = ScanStats()
-        for position, worker in enumerate(self.workers):
-            wire, stats = worker.scan_filter_project(
-                meta,
-                assignment.blocks_for(worker.worker_id),
-                request,
-                db_bloom=db_bloom,
-                local_bloom=(
-                    local_blooms[position] if local_blooms else None
-                ),
-            )
-            wire_tables.append(wire)
+        while tasks:
+            worker, blocks = tasks.popleft()
+            if worker not in self.workers:
+                # The owner of this recovery task died after it was
+                # queued (a second crash event); deal its blocks out
+                # again.
+                self._requeue(worker.worker_id, blocks, tasks)
+                continue
+            hook = None
+            if injector is not None:
+                crash_at = injector.scan_crash_block(
+                    worker.worker_id, len(blocks)
+                )
+                if crash_at is not None:
+                    if not blocks:
+                        self._scan_crash(worker, blocks, ScanStats(),
+                                         injector, tasks, pieces, blooms,
+                                         merged)
+                        continue
+                    hook = ScanFaultHook(crash_at)
+            try:
+                wire, stats = worker.scan_filter_project(
+                    meta, blocks, request,
+                    db_bloom=db_bloom,
+                    local_bloom=blooms.get(worker.worker_id),
+                    faults=hook,
+                )
+            except CrashSignal as signal:
+                self._scan_crash(worker, blocks, signal.stats, injector,
+                                 tasks, pieces, blooms, merged)
+                continue
+            pieces[worker.worker_id].append(wire)
             merged = merged.merge(stats)
+
+        if injector is not None:
+            self._record_stragglers(injector)
+        wire_tables = [
+            Table.concat(pieces[worker.worker_id])
+            for worker in self.workers
+        ]
+        local_blooms = (
+            [blooms[worker.worker_id] for worker in self.workers]
+            if build_local_blooms else None
+        )
         return DistributedScanResult(
             wire_tables=wire_tables,
             stats=merged,
             local_blooms=local_blooms,
         )
 
+    def _scan_crash(self, worker: JenWorker, blocks, partial: ScanStats,
+                    injector: FaultInjector, tasks, pieces, blooms,
+                    merged: ScanStats) -> None:
+        """Recover from a mid-scan crash (or raise if unrecoverable)."""
+        survivors = len(self.workers) - 1
+        if survivors == 0:
+            # The crash event has fired, so a service-plane retry of the
+            # whole query runs fault-free.
+            raise WorkerCrashError(
+                f"worker {worker.worker_id} crashed during scan and no "
+                "survivors remain",
+                worker_id=worker.worker_id, phase="scan",
+                rows_lost=partial.rows_scanned,
+            )
+        self._remove_worker(worker.worker_id)
+        # Partial output (wire rows and Bloom inserts) dies with the
+        # worker; the rescanned blocks rebuild it on the survivors.
+        pieces.pop(worker.worker_id, None)
+        blooms.pop(worker.worker_id, None)
+        merged.rows_discarded += partial.rows_scanned
+        merged.blocks_reassigned += len(blocks)
+        injector.record_scan_crash(
+            worker.worker_id, partial.rows_scanned, len(blocks), survivors
+        )
+        self._requeue(worker.worker_id, blocks, tasks)
+
+    def _requeue(self, dead_worker: int, blocks, tasks) -> None:
+        """Deal a dead worker's blocks to the survivors as new tasks."""
+        if not blocks:
+            return
+        by_id = {worker.worker_id: worker for worker in self.workers}
+        for survivor_id, chunk in self.coordinator.reassign_blocks(
+            dead_worker, blocks
+        ):
+            tasks.append((by_id[survivor_id], chunk))
+
+    def _record_stragglers(self, injector: FaultInjector) -> None:
+        """Account straggler slowdowns + speculative backups post-scan."""
+        for worker in self.workers:
+            factor = injector.slow_factor(worker.worker_id)
+            if factor <= 1.0:
+                continue
+            try:
+                backup = self.coordinator.speculative_worker(
+                    worker.worker_id
+                )
+            except CatalogError:
+                backup = None
+            injector.record_straggler(worker.worker_id, factor, backup)
+
     # ------------------------------------------------------------------
     def shuffle_by_key(self, wire_tables: List[Table],
                        key: str) -> ShuffleResult:
-        """All-to-all shuffle of the wire tables on the agreed hash."""
+        """All-to-all shuffle of the wire tables on the agreed hash.
+
+        With an armed fault plan: workers crashing at shuffle time lose
+        their filtered rows, which a survivor re-produces (charged as a
+        recovery re-scan) before the exchange runs over the remaining
+        workers; individual messages go through retry/dedup delivery.
+        """
+        injector = self._active_injector()
+        wire_tables = list(wire_tables)
+        if injector is not None:
+            injector.check_abort("shuffle")
+            if len(wire_tables) == len(self.workers):
+                wire_tables = self._shuffle_crashes(wire_tables, injector)
         outgoing = [
             JenWorker.partition_for_shuffle(wire, key, self.num_workers)
             for wire in wire_tables
         ]
-        return shuffle(outgoing)
+        return shuffle(outgoing, faults=injector)
+
+    def _shuffle_crashes(self, wire_tables: List[Table],
+                         injector: FaultInjector) -> List[Table]:
+        """Kill shuffle-time crash victims and salvage their rows."""
+        for victim_id in injector.shuffle_crashes(
+            [worker.worker_id for worker in self.workers]
+        ):
+            if len(self.workers) == 1:
+                raise WorkerCrashError(
+                    f"worker {victim_id} crashed during shuffle and no "
+                    "survivors remain",
+                    worker_id=victim_id, phase="shuffle",
+                    rows_lost=wire_tables[0].num_rows,
+                )
+            position = next(
+                index for index, worker in enumerate(self.workers)
+                if worker.worker_id == victim_id
+            )
+            victim_wire = wire_tables.pop(position)
+            self._remove_worker(victim_id)
+            # The survivor re-runs the victim's scan share; in the
+            # deterministic data plane that re-produces exactly the
+            # victim's filtered rows, so attach them to the survivor.
+            survivor_id = self.workers[0].worker_id
+            wire_tables[0] = Table.concat([wire_tables[0], victim_wire])
+            injector.record_shuffle_crash(
+                victim_id, victim_wire.num_rows, survivor_id
+            )
+        return wire_tables
 
     # ------------------------------------------------------------------
     def join_and_aggregate(
@@ -183,12 +421,29 @@ class Jen:
         the data-plane scale; workers whose build side exceeds it spill
         via Grace-hash fragmenting (:mod:`repro.jen.spill`).  Zero means
         unlimited — the paper's current JEN, which "requires that all
-        data fit in memory".
+        data fit in memory".  An armed ``spill:x<f>`` fault event
+        squeezes the budget to ``f`` times the largest build side.
         """
+        injector = self._active_injector()
+        if injector is not None:
+            injector.check_abort("join")
         if len(l_parts) != self.num_workers or len(t_parts) != self.num_workers:
             raise JoinError(
                 "join_and_aggregate needs one part per worker on both sides"
             )
+        if injector is not None:
+            # The probe-side partitions arrive over the DB->JEN transfer
+            # channel; lost ones retry, duplicated ones are suppressed.
+            for worker in self.workers:
+                injector.deliver("transfer", -1, worker.worker_id)
+            pressure = injector.spill_budget_rows(
+                max((part.num_rows for part in l_parts), default=0)
+            )
+            if pressure > 0:
+                memory_budget_rows = (
+                    pressure if memory_budget_rows <= 0
+                    else min(memory_budget_rows, pressure)
+                )
         from repro.jen.spill import fragment_tables, plan_spill
 
         stats = LocalJoinStats()

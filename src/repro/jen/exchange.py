@@ -30,14 +30,26 @@ class ShuffleResult:
     tuples_shuffled: int
     #: Tuples that actually crossed the network (sender != receiver).
     tuples_remote: int
+    #: Lost messages that had to be re-sent (fault injection).
+    retries: int = 0
+    #: Re-delivered partitions the receivers suppressed (lost ACKs).
+    duplicates_suppressed: int = 0
 
 
-def shuffle(outgoing: Sequence[Sequence[Table]]) -> ShuffleResult:
-    """Execute an all-to-all shuffle.
+def shuffle(outgoing: Sequence[Sequence[Table]],
+            faults=None) -> ShuffleResult:
+    """Execute an all-to-all shuffle with exactly-once delivery.
 
     ``outgoing[sender][destination]`` holds the rows sender routed to
     destination via the agreed hash.  Every sender must address the same
     number of destinations.
+
+    ``faults`` is an optional :class:`~repro.faults.FaultInjector`;
+    when armed, every remote partition goes through its retry machinery
+    (drops and truncations are re-sent after a timeout) and delivery is
+    idempotent: each receiver accepts one copy per sender, so a
+    partition re-delivered because its acknowledgement was lost does
+    *not* duplicate rows.
     """
     if not outgoing:
         raise JoinError("shuffle needs at least one sender")
@@ -49,17 +61,39 @@ def shuffle(outgoing: Sequence[Sequence[Table]]) -> ShuffleResult:
     per_destination: List[Table] = []
     tuples_shuffled = 0
     tuples_remote = 0
+    retries = 0
+    duplicates_suppressed = 0
     for destination in range(num_destinations):
-        incoming = [sender_parts[destination] for sender_parts in outgoing]
-        for sender, part in enumerate(incoming):
-            tuples_shuffled += part.num_rows
-            if sender != destination:
-                tuples_remote += part.num_rows
-        per_destination.append(Table.concat(list(incoming)))
+        accepted: List[Table] = []
+        seen_senders = set()
+        for sender, sender_parts in enumerate(outgoing):
+            part = sender_parts[destination]
+            copies = 1
+            if faults is not None and sender != destination:
+                # Local parts never touch the network; remote ones can
+                # be dropped (re-sent) or duplicated (lost ACK).
+                duplicated, failures = faults.deliver(
+                    "shuffle", sender, destination
+                )
+                retries += failures
+                if duplicated:
+                    copies = 2
+            for _ in range(copies):
+                if sender in seen_senders:
+                    duplicates_suppressed += 1
+                    continue
+                seen_senders.add(sender)
+                accepted.append(part)
+                tuples_shuffled += part.num_rows
+                if sender != destination:
+                    tuples_remote += part.num_rows
+        per_destination.append(Table.concat(accepted))
     return ShuffleResult(
         per_destination=per_destination,
         tuples_shuffled=tuples_shuffled,
         tuples_remote=tuples_remote,
+        retries=retries,
+        duplicates_suppressed=duplicates_suppressed,
     )
 
 

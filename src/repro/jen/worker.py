@@ -66,6 +66,11 @@ class ScanStats:
     rows_after_bloom: int = 0
     local_blocks: int = 0
     remote_blocks: int = 0
+    #: Rows a crashed worker had produced before dying — wasted work,
+    #: kept out of the exactly-once counters above.
+    rows_discarded: int = 0
+    #: Blocks handed to survivors after a mid-scan crash.
+    blocks_reassigned: int = 0
 
     def merge(self, other: "ScanStats") -> "ScanStats":
         """Combine stats across workers."""
@@ -80,6 +85,10 @@ class ScanStats:
             rows_after_bloom=self.rows_after_bloom + other.rows_after_bloom,
             local_blocks=self.local_blocks + other.local_blocks,
             remote_blocks=self.remote_blocks + other.remote_blocks,
+            rows_discarded=self.rows_discarded + other.rows_discarded,
+            blocks_reassigned=(
+                self.blocks_reassigned + other.blocks_reassigned
+            ),
         )
 
 
@@ -97,6 +106,7 @@ class JenWorker:
         request: ScanRequest,
         db_bloom: Optional[BloomFilter] = None,
         local_bloom: Optional[BloomFilter] = None,
+        faults=None,
     ) -> Tuple[Table, ScanStats]:
         """Scan assigned blocks through the full process pipeline.
 
@@ -105,6 +115,11 @@ class JenWorker:
         is given, the join keys that survive are inserted into it — the
         zigzag join's BF_H build happens inside the scan, not as an
         extra pass (Section 4.4).
+
+        ``faults`` is an optional hook with a ``before_block(worker_id,
+        index, stats)`` method, consulted before every block read; the
+        fault injector uses it to kill the worker mid-scan (by raising
+        out of the loop with the partial stats attached).
         """
         storage_format = meta.storage_format()
         scan_row_bytes = storage_format.scan_bytes_per_row(
@@ -112,7 +127,9 @@ class JenWorker:
         )
         stats = ScanStats()
         pieces: List[Table] = []
-        for block in blocks:
+        for index, block in enumerate(blocks):
+            if faults is not None:
+                faults.before_block(self.worker_id, index, stats)
             local = self.filesystem.datanodes[self.worker_id].has_replica(
                 block.block_id
             ) if self.worker_id < len(self.filesystem.datanodes) else False

@@ -16,9 +16,10 @@ Reproduces the volume math of the paper's Figure 6:
 from __future__ import annotations
 
 import enum
+from dataclasses import dataclass
 from typing import List
 
-from repro.errors import SimulationError
+from repro.errors import SimulationError, TransferFaultError
 from repro.net.topology import HybridTopology
 
 
@@ -29,6 +30,81 @@ class TransferPattern(enum.Enum):
     BROADCAST_DIRECT = "broadcast_direct"
     BROADCAST_RELAY = "broadcast_relay"
     AGREED_HASH_DIRECT = "agreed_hash_direct"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry discipline for unreliable transfers (fault injection).
+
+    A lost or truncated message is detected after ``timeout_seconds``
+    (the per-transfer timeout), then re-sent after an exponentially
+    growing backoff: failure *i* waits
+    ``backoff_base_seconds * backoff_multiplier**(i-1)`` before the next
+    attempt.  After ``max_attempts`` total attempts the transfer is
+    abandoned with :class:`~repro.errors.TransferFaultError`.
+    """
+
+    max_attempts: int = 4
+    timeout_seconds: float = 2.0
+    backoff_base_seconds: float = 0.5
+    backoff_multiplier: float = 2.0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise SimulationError("retry policy needs at least one attempt")
+        if self.timeout_seconds < 0 or self.backoff_base_seconds < 0:
+            raise SimulationError("retry timings must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise SimulationError("backoff multiplier must be >= 1")
+
+    def backoff_seconds(self, failure_index: int) -> float:
+        """Backoff slept after the ``failure_index``-th (1-based) loss."""
+        if failure_index < 1:
+            raise SimulationError("failure index is 1-based")
+        return (self.backoff_base_seconds
+                * self.backoff_multiplier ** (failure_index - 1))
+
+    def retry_overhead_seconds(self, failures: int) -> float:
+        """Extra seconds ``failures`` consecutive losses cost.
+
+        Each loss burns the detection timeout plus its backoff; the
+        final successful attempt's own transfer time is priced by the
+        ordinary cost model, not here.
+        """
+        return sum(
+            self.timeout_seconds + self.backoff_seconds(index)
+            for index in range(1, failures + 1)
+        )
+
+
+def deliver_with_retry(payload, send, policy: RetryPolicy,
+                       channel: str = "transfer",
+                       sender: int = -1, destination: int = -1):
+    """Drive ``send(payload, attempt)`` until it reports success.
+
+    ``send`` returns an outcome string: ``"ok"`` (delivered), ``"dup"``
+    (delivered but the acknowledgement was lost, so the payload arrives
+    twice — the receiver must deduplicate), or ``"drop"``/``"trunc"``
+    (lost or cut short in flight; retry).  Returns
+    ``(outcome, attempts)`` for the terminal attempt; raises
+    :class:`~repro.errors.TransferFaultError` once the policy's attempt
+    budget is exhausted.
+    """
+    attempts = 0
+    while True:
+        attempts += 1
+        outcome = send(payload, attempts)
+        if outcome in ("ok", "dup"):
+            return outcome, attempts
+        if outcome not in ("drop", "trunc"):
+            raise SimulationError(f"unknown delivery outcome {outcome!r}")
+        if attempts >= policy.max_attempts:
+            raise TransferFaultError(
+                f"{channel} transfer {sender}->{destination} lost "
+                f"{attempts} times (retry budget exhausted)",
+                channel=channel, sender=sender, destination=destination,
+                attempts=attempts,
+            )
 
 
 def grouped_assignment(num_jen_workers: int, num_db_workers: int

@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Union
 
 from repro.core.joins import JoinResult, algorithm_by_name
-from repro.errors import ServiceError
+from repro.errors import FaultError, ServiceError
 from repro.query.query import HybridQuery
 from repro.relational.table import Table
 from repro.service.admission import AdmissionConfig, AdmissionController
@@ -67,6 +67,9 @@ class ServiceConfig:
     enable_feedback: bool = True
     #: Simulated coordinator latency of answering from the result cache.
     cache_hit_seconds: float = 0.1
+    #: How many times a query killed by an unrecoverable injected fault
+    #: is re-admitted before the failure is surfaced to the client.
+    fault_retries: int = 1
 
 
 @dataclass
@@ -75,9 +78,14 @@ class QueryOutcome:
 
     ticket_id: int
     tenant: str
-    #: "ok" or "rejected".
+    #: "ok", "rejected" (admission control) or "failed" (unrecoverable
+    #: fault after the configured re-admissions).
     status: str
     reject_reason: str = ""
+    #: Typed error of the terminal fault, e.g. "QueryAbortError: ...".
+    error: str = ""
+    #: Re-admissions this query consumed recovering from faults.
+    fault_retries_used: int = 0
     algorithm: str = ""
     advisor_rationale: str = ""
     cache_hit: bool = False
@@ -125,9 +133,9 @@ class QueryTicket:
                 f"query q{self.id} not executed yet; call drain()"
             )
         if not self.outcome.ok:
+            detail = self.outcome.error or self.outcome.reject_reason
             raise ServiceError(
-                f"query q{self.id} was rejected "
-                f"({self.outcome.reject_reason})"
+                f"query q{self.id} was {self.outcome.status} ({detail})"
             )
         return self.outcome.result
 
@@ -154,7 +162,13 @@ class ServiceReport:
 
     def rejected(self) -> List[QueryOutcome]:
         """Queries refused by admission control."""
-        return [outcome for outcome in self.outcomes if not outcome.ok]
+        return [outcome for outcome in self.outcomes
+                if outcome.status == "rejected"]
+
+    def failed(self) -> List[QueryOutcome]:
+        """Queries that died on an unrecoverable fault after retries."""
+        return [outcome for outcome in self.outcomes
+                if outcome.status == "failed"]
 
     def throughput(self) -> float:
         """Completed queries per simulated second."""
@@ -171,7 +185,8 @@ class ServiceReport:
         """Human-readable report: per-query lines plus the metrics."""
         lines = [
             f"{len(self.completed())} completed, "
-            f"{len(self.rejected())} rejected in "
+            f"{len(self.rejected())} rejected, "
+            f"{len(self.failed())} failed in "
             f"{self.makespan:.1f}s simulated "
             f"({self.throughput() * 60:.2f} queries/min; serial sum "
             f"{self.serial_seconds():.1f}s)",
@@ -185,6 +200,12 @@ class ServiceReport:
                     f"{source:<18s} wait={outcome.queue_wait:7.1f}s "
                     f"latency={outcome.latency:8.1f}s "
                     f"rows={outcome.result.num_rows}"
+                )
+            elif outcome.status == "failed":
+                lines.append(
+                    f"  q{outcome.ticket_id:<4d} {outcome.tenant:<10s} "
+                    f"FAILED ({outcome.error}) after "
+                    f"{outcome.fault_retries_used} re-admissions"
                 )
             else:
                 lines.append(
@@ -338,8 +359,53 @@ class QueryService:
             self._finish(ticket, outcome, outcomes)
             return
 
-        algorithm, rationale, join_result = self._execute_data_plane(
-            submission.query, submission.algorithm)
+        # Graceful degradation: an unrecoverable injected fault releases
+        # the slot and re-admits the query up to ``fault_retries`` times
+        # (the injector's fired-once crash/abort state persists, so the
+        # retry typically runs clean); past that, the failure surfaces
+        # with its typed FaultError.
+        queue_wait = admit.queued_seconds
+        retries_used = 0
+        while True:
+            try:
+                algorithm, rationale, join_result = self._execute_data_plane(
+                    submission.query, submission.algorithm)
+                break
+            except FaultError as exc:
+                admission.release(admit.grant)
+                self.metrics.counter("service.fault_aborts").inc()
+                injector = getattr(self.warehouse.jen, "injector", None)
+                if injector is not None:
+                    injector.bump_epoch()
+                if retries_used >= self.config.fault_retries:
+                    outcome = QueryOutcome(
+                        ticket_id=ticket.id, tenant=ticket.tenant,
+                        status="failed",
+                        error=f"{type(exc).__name__}: {exc}",
+                        fault_retries_used=retries_used,
+                        submitted_at=submitted_at,
+                        admitted_at=submitted_at + queue_wait,
+                        finished_at=engine.now, queue_wait=queue_wait,
+                    )
+                    self._finish(ticket, outcome, outcomes)
+                    return
+                retries_used += 1
+                self.metrics.counter("service.fault_retries").inc()
+                admit = yield admission.request(ticket.tenant,
+                                               submission.priority)
+                if not admit.admitted:
+                    outcome = QueryOutcome(
+                        ticket_id=ticket.id, tenant=ticket.tenant,
+                        status="rejected", reject_reason=admit.reason,
+                        error=f"{type(exc).__name__}: {exc}",
+                        fault_retries_used=retries_used,
+                        submitted_at=submitted_at,
+                        finished_at=engine.now,
+                        queue_wait=queue_wait + admit.queued_seconds,
+                    )
+                    self._finish(ticket, outcome, outcomes)
+                    return
+                queue_wait += admit.queued_seconds
         run = schedule_trace(
             engine, cluster, join_result.trace,
             chunks=self.config.chunks, label=f"q{ticket.id}",
@@ -357,9 +423,10 @@ class QueryService:
         outcome = QueryOutcome(
             ticket_id=ticket.id, tenant=ticket.tenant, status="ok",
             algorithm=algorithm, advisor_rationale=rationale,
+            fault_retries_used=retries_used,
             submitted_at=submitted_at,
-            admitted_at=submitted_at + admit.queued_seconds,
-            finished_at=engine.now, queue_wait=admit.queued_seconds,
+            admitted_at=submitted_at + queue_wait,
+            finished_at=engine.now, queue_wait=queue_wait,
             result=join_result.result, join_result=join_result,
         )
         self._finish(ticket, outcome, outcomes)
@@ -390,5 +457,7 @@ class QueryService:
                 outcome.latency)
             self.metrics.histogram(
                 f"service.latency_seconds.{label}").observe(outcome.latency)
+        elif outcome.status == "failed":
+            self.metrics.counter("service.query_failed").inc()
         else:
             self.metrics.counter("service.query_rejected").inc()

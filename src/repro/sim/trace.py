@@ -19,7 +19,7 @@ by the cost layer from measured volumes) plus two kinds of dependencies:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Iterator, List, Sequence, Tuple
 
 from repro.errors import SimulationError
@@ -84,6 +84,52 @@ class Trace:
         )
         self._phases[name] = phase
         return phase
+
+    def splice_after(
+        self,
+        anchor_name: str,
+        name: str,
+        kind: str,
+        seconds: float,
+        description: str = "",
+        tuples: float = 0.0,
+    ) -> Phase:
+        """Insert a phase between ``anchor_name`` and its dependents.
+
+        The new phase waits on the anchor, and every phase that depended
+        on the anchor additionally depends on the new phase — through
+        ``after`` if it was a barrier, through ``streams_from`` if it was
+        pipelined — so the inserted work lands on the critical path
+        instead of dangling off it.  This is how injected-fault recovery
+        (re-scans, retries, speculation) is charged retroactively: the
+        phases downstream of a delayed producer genuinely waited for the
+        recovery to finish.
+        """
+        anchor = self.phase(anchor_name)
+        if name in self._phases:
+            raise SimulationError(f"duplicate phase name {name!r}")
+        spliced = Phase(
+            name=name,
+            kind=kind,
+            seconds=float(seconds),
+            after=(anchor.name,),
+            description=description,
+            tuples=float(tuples),
+        )
+        rebuilt: Dict[str, Phase] = {}
+        for existing_name, phase in self._phases.items():
+            updated = phase
+            if anchor_name in phase.after:
+                updated = replace(updated, after=phase.after + (name,))
+            if anchor_name in phase.streams_from:
+                updated = replace(
+                    updated, streams_from=phase.streams_from + (name,)
+                )
+            rebuilt[existing_name] = updated
+            if existing_name == anchor_name:
+                rebuilt[name] = spliced
+        self._phases = rebuilt
+        return spliced
 
     def __iter__(self) -> Iterator[Phase]:
         return iter(self._phases.values())

@@ -223,11 +223,26 @@ class _Parser:
         op = "==" if op == "=" else op
         return Comparison(op=op, left=left, right=right)
 
+    def _number(self, token):
+        """Convert a NUMBER token, rejecting malformed spellings.
+
+        The lexer accepts greedy digit/dot runs, so strings like
+        ``1..2`` reach the parser; they must surface as
+        :class:`~repro.errors.SqlError`, never ``ValueError``.
+        """
+        try:
+            return float(token.value) if "." in token.value \
+                else int(token.value)
+        except ValueError:
+            raise SqlError(
+                f"malformed number {token.value!r} at position "
+                f"{token.position}"
+            ) from None
+
     def literal_value(self):
         token = self.advance()
         if token.type is TokenType.NUMBER:
-            return float(token.value) if "." in token.value \
-                else int(token.value)
+            return self._number(token)
         if token.type is TokenType.STRING:
             return token.value
         raise SqlError(
@@ -249,9 +264,7 @@ class _Parser:
     def primary(self):
         token = self.advance()
         if token.type is TokenType.NUMBER:
-            value = float(token.value) if "." in token.value \
-                else int(token.value)
-            return Literal(value)
+            return Literal(self._number(token))
         if token.type is TokenType.STRING:
             return Literal(token.value)
         if token.type is TokenType.LPAREN:

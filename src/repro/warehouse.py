@@ -71,6 +71,19 @@ class HybridWarehouse:
         )
 
     # ------------------------------------------------------------------
+    # Fault injection (chaos runs)
+    # ------------------------------------------------------------------
+    def arm_faults(self, plan, seed: int = 11, **kwargs):
+        """Arm a :class:`~repro.faults.FaultPlan` (or spec string) on the
+        JEN engine; see :meth:`repro.jen.engine.Jen.arm_faults`."""
+        return self.jen.arm_faults(plan, seed=seed, **kwargs)
+
+    def disarm_faults(self) -> None:
+        """Drop the armed fault plan and restore full worker strength."""
+        self.jen.disarm_faults()
+        self.jen.restore_workers()
+
+    # ------------------------------------------------------------------
     # Convenience accessors (tests, reference runs)
     # ------------------------------------------------------------------
     def gather_db_table(self, name: str) -> Table:

@@ -1,0 +1,208 @@
+"""Seeded fuzz tests for the SQL front end.
+
+Two batteries:
+
+* **round-trip**: a seeded generator emits valid queries of the paper's
+  dialect; each must parse deterministically, survive whitespace and
+  keyword-case perturbation with an identical AST, and translate to the
+  same canonical plan key.
+* **mutation**: random byte-level mutations of valid queries must only
+  ever raise :class:`~repro.errors.ReproError` subclasses (in practice
+  ``SqlError``) — never ``ValueError``/``KeyError``/... — no matter how
+  mangled the input.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+import string
+
+import pytest
+
+from repro.errors import ReproError
+from repro.service import plan_key
+from repro.sql.lexer import KEYWORDS, SqlError, tokenize
+from repro.sql.parser import parse_select
+from repro.sql.translator import translate
+
+#: Operators the generator may use in local predicates.
+_OPS = ("<=", "<", ">=", ">", "=")
+#: Aggregates over the HDFS side (always legal in the paper's dialect).
+_AGGREGATES = ("COUNT(*)", "SUM(L.indPred)", "MIN(L.corPred)",
+               "MAX(L.indPred)", "AVG(L.corPred)")
+
+
+def generate_query(rng: random.Random) -> str:
+    """One valid random query of the paper's class."""
+    select = ["extract_group(L.groupByExtractCol)"]
+    aggregates = []
+    for _ in range(rng.randint(1, 3)):
+        aggregate = rng.choice(_AGGREGATES)
+        aggregates.append(aggregate)
+        if rng.random() < 0.4:
+            aggregate += f" AS agg_{rng.randint(0, 99)}"
+        select.append(aggregate)
+
+    where = ["T.joinKey = L.joinKey"]
+    for table, column in (("T", "corPred"), ("T", "indPred"),
+                          ("L", "corPred"), ("L", "indPred")):
+        if rng.random() < 0.7:
+            threshold = rng.randint(0, 500_000)
+            if rng.random() < 0.2:
+                threshold = f"{threshold}.{rng.randint(0, 99)}"
+            where.append(
+                f"{table}.{column} {rng.choice(_OPS)} {threshold}"
+            )
+    if rng.random() < 0.3:
+        values = ", ".join(
+            str(rng.randint(0, 200)) for _ in range(rng.randint(1, 4))
+        )
+        where.append(f"T.corPred IN ({values})")
+    if rng.random() < 0.5:
+        low, high = sorted((rng.randint(0, 3), rng.randint(0, 3)))
+        where.append(
+            "days(T.predAfterJoin) - days(L.predAfterJoin) "
+            f">= {low}"
+        )
+        where.append(
+            "days(T.predAfterJoin) - days(L.predAfterJoin) "
+            f"<= {high}"
+        )
+
+    sql = (
+        "SELECT " + ", ".join(select)
+        + " FROM T, L WHERE " + " AND ".join(where)
+        + " GROUP BY extract_group(L.groupByExtractCol)"
+    )
+    if rng.random() < 0.4:
+        direction = rng.choice(("ASC", "DESC", ""))
+        sql += f" ORDER BY {rng.choice(aggregates)} {direction}".rstrip()
+    if rng.random() < 0.3:
+        sql += f" LIMIT {rng.randint(0, 50)}"
+    return sql
+
+
+def perturb(sql: str, rng: random.Random) -> str:
+    """Meaning-preserving noise: keyword case and whitespace.
+
+    Only keywords are case-insensitive in the dialect; identifier
+    spelling must survive untouched.
+    """
+    def recase(match: "re.Match") -> str:
+        word = match.group(0)
+        if word.upper() not in KEYWORDS:
+            return word
+        return "".join(
+            char.swapcase() if rng.random() < 0.5 else char
+            for char in word
+        )
+
+    noisy = re.sub(r"[A-Za-z_][A-Za-z0-9_]*", recase, sql)
+    out = []
+    for char in noisy:
+        out.append(char)
+        if char in ",()" and rng.random() < 0.3:
+            out.append(" " * rng.randint(1, 3))
+    return "".join(out)
+
+
+def mutate(sql: str, rng: random.Random) -> str:
+    """One random byte-level mutation (insert / delete / replace)."""
+    alphabet = string.printable + "@#$%^&~`\\\x00\xff"
+    text = list(sql)
+    for _ in range(rng.randint(1, 4)):
+        kind = rng.randrange(3)
+        position = rng.randrange(len(text)) if text else 0
+        if kind == 0 and text:
+            del text[position]
+        elif kind == 1:
+            text.insert(position, rng.choice(alphabet))
+        elif text:
+            text[position] = rng.choice(alphabet)
+    return "".join(text)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", range(40))
+    def test_generated_queries_round_trip(self, seed, loaded_warehouse):
+        rng = random.Random(seed)
+        sql = generate_query(rng)
+        statement = parse_select(sql)
+        # Parsing is deterministic (frozen dataclass equality).
+        assert parse_select(sql) == statement
+        # Case/whitespace noise never changes the AST or the plan.
+        noisy = perturb(sql, rng)
+        assert parse_select(noisy) == statement
+        original = translate(statement, loaded_warehouse)
+        perturbed = translate(parse_select(noisy), loaded_warehouse)
+        assert plan_key(original.query) == plan_key(perturbed.query)
+        assert plan_key(original.query, literals=False) == \
+            plan_key(perturbed.query, literals=False)
+
+    def test_generator_is_seeded(self):
+        assert generate_query(random.Random(7)) == \
+            generate_query(random.Random(7))
+        assert generate_query(random.Random(7)) != \
+            generate_query(random.Random(8))
+
+
+class TestMutationFuzz:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_mutations_raise_only_repro_errors(self, seed,
+                                               loaded_warehouse):
+        rng = random.Random(seed)
+        base = generate_query(rng)
+        for _ in range(40):
+            mangled = mutate(base, rng)
+            try:
+                translate(parse_select(mangled), loaded_warehouse)
+            except ReproError:
+                continue  # SqlError and friends: the typed contract
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("seed", range(12, 60))
+    def test_mutation_sweep(self, seed, loaded_warehouse):
+        rng = random.Random(seed)
+        base = generate_query(rng)
+        for _ in range(120):
+            mangled = mutate(base, rng)
+            try:
+                translate(parse_select(mangled), loaded_warehouse)
+            except ReproError:
+                continue
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_lexer_never_leaks_internal_errors(self, seed):
+        rng = random.Random(seed)
+        for _ in range(100):
+            junk = "".join(
+                rng.choice(string.printable + "\x00\xff")
+                for _ in range(rng.randint(0, 60))
+            )
+            try:
+                tokenize(junk)
+            except SqlError:
+                continue
+
+
+class TestParserHardening:
+    """Regressions for malformed inputs the lexer lets through."""
+
+    @pytest.mark.parametrize("bad_number", ["1..2", "3.4.5", "1.2.3.4"])
+    def test_malformed_numbers_raise_sql_error(self, bad_number):
+        with pytest.raises(SqlError):
+            parse_select(f"SELECT COUNT(*) FROM T, L "
+                         f"WHERE T.corPred <= {bad_number} "
+                         f"AND T.joinKey = L.joinKey")
+
+    def test_malformed_number_in_in_list(self):
+        with pytest.raises(SqlError, match="malformed number"):
+            parse_select("SELECT COUNT(*) FROM T, L "
+                         "WHERE T.corPred IN (1, 2..3) "
+                         "AND T.joinKey = L.joinKey")
+
+    def test_malformed_number_reports_position(self):
+        sql = "SELECT 1..2 FROM T"
+        with pytest.raises(SqlError, match="position 7"):
+            parse_select(sql)
