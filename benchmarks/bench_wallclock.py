@@ -1,0 +1,23 @@
+"""Wall-clock kernel benchmarks (thin wrapper).
+
+Unlike the other ``bench_*`` modules, which measure *simulated* seconds
+under ``pytest-benchmark``, this one measures real host wall clock for
+the vectorised kernel layer and is a plain script::
+
+    PYTHONPATH=src python benchmarks/bench_wallclock.py \
+        --out benchmarks/results/BENCH_wallclock.json
+
+    # CI smoke: reduced sizes, gate on the checked-in baseline
+    PYTHONPATH=src python benchmarks/bench_wallclock.py --quick \
+        --skip-e2e --check benchmarks/results/BENCH_wallclock.json
+
+Equivalent to ``python -m repro bench``; see
+:mod:`repro.bench.wallclock` for what is measured.
+"""
+
+import sys
+
+from repro.bench.wallclock import main
+
+if __name__ == "__main__":
+    sys.exit(main())

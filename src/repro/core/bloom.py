@@ -27,6 +27,7 @@ from typing import Iterable
 import numpy as np
 
 from repro.errors import BloomFilterError
+from repro.kernels.bloomops import popcount, scatter_or, test_bits
 
 _MIX_MULT_1 = np.uint64(0xBF58476D1CE4E5B9)
 _MIX_MULT_2 = np.uint64(0x94D049BB133111EB)
@@ -93,14 +94,17 @@ class BloomFilter:
     # Mutation
     # ------------------------------------------------------------------
     def add(self, keys: Iterable[int]) -> None:
-        """Insert keys (any integer iterable or numpy array)."""
+        """Insert keys (any integer iterable or numpy array).
+
+        Runs the word-level scatter kernel: duplicate positions (hash
+        collisions and the k hashes of repeated keys) collapse in a
+        presence-array scatter and the words are built with one fused
+        bit-pack — no serial ``bitwise_or.at`` scatter.
+        """
         keys = np.asarray(list(keys) if not isinstance(keys, np.ndarray) else keys)
         if keys.size == 0:
             return
-        positions = self._positions(keys).ravel()
-        word_index = (positions >> np.uint64(6)).astype(np.int64)
-        bit = np.uint64(1) << (positions & np.uint64(63))
-        np.bitwise_or.at(self._words, word_index, bit)
+        scatter_or(self._words, self._positions(keys))
         self._num_added += len(keys)
 
     def union_in_place(self, other: "BloomFilter") -> "BloomFilter":
@@ -145,13 +149,7 @@ class BloomFilter:
         keys = np.asarray(keys)
         if keys.size == 0:
             return np.zeros(0, dtype=bool)
-        positions = self._positions(keys)
-        mask = np.ones(len(keys), dtype=bool)
-        for i in range(self.num_hashes):
-            word_index = (positions[i] >> np.uint64(6)).astype(np.int64)
-            bit = (positions[i] & np.uint64(63)).astype(np.uint64)
-            mask &= (self._words[word_index] >> bit) & np.uint64(1) != 0
-        return mask
+        return test_bits(self._words, self._positions(keys))
 
     def __contains__(self, key: int) -> bool:
         return bool(self.contains(np.asarray([key]))[0])
@@ -162,9 +160,14 @@ class BloomFilter:
         return self._num_added
 
     def bits_set(self) -> int:
-        """Number of 1 bits in the filter."""
-        as_bytes = self._words.view(np.uint8)
-        return int(np.unpackbits(as_bytes).sum())
+        """Number of 1 bits in the filter.
+
+        Word-level popcount (hardware ``popcnt`` where numpy exposes
+        it) — the advisor calls :meth:`estimated_fpr` per decision, so
+        this must not materialise every bit the way ``unpackbits``
+        does.
+        """
+        return popcount(self._words)
 
     def fill_ratio(self) -> float:
         """Fraction of bits set."""
@@ -223,3 +226,22 @@ class BloomFilter:
             f"BloomFilter(m={self.num_bits}, k={self.num_hashes}, "
             f"added={self._num_added}, fill={self.fill_ratio():.3f})"
         )
+
+
+def probe_and_insert(keys: np.ndarray, probe: BloomFilter,
+                     insert: BloomFilter) -> np.ndarray:
+    """Fused probe of one filter + insert of survivors into another.
+
+    This is the zigzag join's two-way filter step inside the JEN scan
+    (paper Section 4.4): test each key against the pushed-down BF_DB
+    and add exactly the keys that pass to the local BF_H, in one pass
+    over the key column — no intermediate table gather between the two
+    filter operations.  Returns the keep mask; ``insert`` ends up
+    bit-identical to ``insert.add(keys[mask])``.
+    """
+    keys = np.asarray(keys)
+    if keys.size == 0:
+        return np.zeros(0, dtype=bool)
+    mask = probe.contains(keys)
+    insert.add(keys[mask])
+    return mask

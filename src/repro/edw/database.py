@@ -17,6 +17,7 @@ from repro.edw.optimizer import DbJoinChoice, DbJoinStrategy
 from repro.edw.partitioner import db_internal_partition
 from repro.edw.worker import DbWorker, WorkerAccessStats
 from repro.errors import CatalogError
+from repro.kernels.partition import partition_table
 from repro.relational.expressions import Predicate
 from repro.relational.schema import Schema
 from repro.relational.table import Table
@@ -91,10 +92,9 @@ class ParallelDatabase:
         assignments = db_internal_partition(
             table.column(distribute_on), self.num_workers
         )
-        for worker in self.workers:
-            worker.store_partition(
-                name, table.filter(assignments == worker.worker_id)
-            )
+        partitions = partition_table(table, assignments, self.num_workers)
+        for worker, partition in zip(self.workers, partitions):
+            worker.store_partition(name, partition)
         meta = DbTableMeta(
             name=name,
             schema=table.schema,
@@ -324,12 +324,13 @@ class ParallelDatabase:
         return result, stats
 
     def _repartition(self, parts: List[Table], key: str) -> List[Table]:
-        """Redistribute row parts on ``key`` with the internal hash."""
+        """Redistribute row parts on ``key`` with the internal hash.
+
+        Single-pass kernel: one sort + one gather instead of one
+        full-table boolean filter per worker.
+        """
         combined = Table.concat(parts)
         assignments = db_internal_partition(
             combined.column(key), self.num_workers
         )
-        return [
-            combined.filter(assignments == worker_id)
-            for worker_id in range(self.num_workers)
-        ]
+        return partition_table(combined, assignments, self.num_workers)

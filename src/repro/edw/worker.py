@@ -17,6 +17,7 @@ from repro.core.bloom import BloomFilter
 from repro.edw.index import SecondaryIndex
 from repro.edw.partitioner import agreed_hash_partition
 from repro.errors import CatalogError
+from repro.kernels.partition import partition_table
 from repro.relational.expressions import Predicate
 from repro.relational.table import Table
 
@@ -159,11 +160,11 @@ class DbWorker:
     @staticmethod
     def partition_for_send(table: Table, key_column: str,
                            num_targets: int) -> List[Table]:
-        """Split outgoing rows by the agreed hash function."""
+        """Split outgoing rows by the agreed hash function.
+
+        Single-pass kernel: one sort + one gather for all targets.
+        """
         assignments = agreed_hash_partition(
             table.column(key_column), num_targets
         )
-        return [
-            table.filter(assignments == target)
-            for target in range(num_targets)
-        ]
+        return partition_table(table, assignments, num_targets)

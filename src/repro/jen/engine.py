@@ -82,6 +82,12 @@ class Jen:
         ]
         self._scan_depth = 0
         self._injector: Optional[FaultInjector] = None
+        #: Optional hook ``(worker_slot, build_keys) -> JoinBuildIndex``
+        #: consulted by :meth:`join_and_aggregate` for each worker's
+        #: build side.  The service plane installs a caching provider
+        #: here so repeated queries over an unchanged build reuse the
+        #: sorted index; ``None`` means build a fresh index per worker.
+        self.build_index_provider = None
 
     @property
     def num_workers(self) -> int:
@@ -445,22 +451,37 @@ class Jen:
                     else min(memory_budget_rows, pressure)
                 )
         from repro.jen.spill import fragment_tables, plan_spill
+        from repro.kernels import kernels_enabled
+        from repro.kernels.joinindex import JoinBuildIndex
 
         stats = LocalJoinStats()
         partials: List[Table] = []
-        for l_part, t_part in zip(l_parts, t_parts):
+        for slot, (l_part, t_part) in enumerate(zip(l_parts, t_parts)):
             plan = plan_spill(
                 l_part.num_rows, t_part.num_rows, memory_budget_rows
             )
             stats.spilled_tuples += plan.spilled_tuples()
             stats.max_fragments = max(stats.max_fragments,
                                       plan.num_fragments)
+            build_index = None
+            if not plan.spilled and kernels_enabled():
+                # Sort the worker's build side once and reuse the index
+                # for the probe (and, via an installed provider, across
+                # queries whose build side is unchanged).  Spilling
+                # workers fragment the build, so whole-side indexes do
+                # not apply there.
+                build_keys = l_part.column(query.hdfs_join_key)
+                if self.build_index_provider is not None:
+                    build_index = self.build_index_provider(slot, build_keys)
+                else:
+                    build_index = JoinBuildIndex(build_keys)
             worker_partials: List[Table] = []
             for build_frag, probe_frag in fragment_tables(
                 l_part, t_part, query.hdfs_join_key, query.db_join_key,
                 plan.num_fragments,
             ):
-                joined = local_join(probe_frag, build_frag, query)
+                joined = local_join(probe_frag, build_frag, query,
+                                    build_index=build_index)
                 stats.join_output_tuples += joined.num_rows
                 worker_partials.append(
                     local_partial_aggregate(joined, query)

@@ -87,6 +87,11 @@ def shuffle(outgoing: Sequence[Sequence[Table]],
                 tuples_shuffled += part.num_rows
                 if sender != destination:
                     tuples_remote += part.num_rows
+        # Table.concat is lazy about degenerate inputs: empty partitions
+        # (the common case with many workers and selective filters) are
+        # dropped before any column is copied, and a single surviving
+        # partition is returned as-is — zero-copy end to end when only
+        # one sender routed rows here.
         per_destination.append(Table.concat(accepted))
     return ShuffleResult(
         per_destination=per_destination,

@@ -78,8 +78,13 @@ def fragment_tables(build, probe, build_key: str, probe_key: str,
     """Split both join inputs into co-aligned fragments.
 
     Rows with equal keys always land in the same fragment, so joining
-    fragment-wise is exactly equivalent to the in-memory join.
+    fragment-wise is exactly equivalent to the in-memory join.  Both
+    sides go through the single-pass partition kernel — one sort + one
+    gather each, with fragments as zero-copy views — so spill re-reads
+    do not rescan either input once per fragment.
     """
+    from repro.kernels.partition import partition_table
+
     if num_fragments <= 1:
         return [(build, probe)]
     build_assignment = fragment_hash_partition(
@@ -88,10 +93,6 @@ def fragment_tables(build, probe, build_key: str, probe_key: str,
     probe_assignment = fragment_hash_partition(
         probe.column(probe_key), num_fragments
     )
-    return [
-        (
-            build.filter(build_assignment == fragment),
-            probe.filter(probe_assignment == fragment),
-        )
-        for fragment in range(num_fragments)
-    ]
+    build_fragments = partition_table(build, build_assignment, num_fragments)
+    probe_fragments = partition_table(probe, probe_assignment, num_fragments)
+    return list(zip(build_fragments, probe_fragments))

@@ -13,9 +13,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-from repro.core.bloom import BloomFilter
+from repro.core.bloom import BloomFilter, probe_and_insert
 from repro.edw.partitioner import agreed_hash_partition
 from repro.hdfs.blocks import Block
+from repro.kernels.partition import partition_table
 from repro.hdfs.filesystem import HdfsFileSystem, HdfsTableMeta
 from repro.relational.expressions import Predicate
 from repro.relational.table import Table
@@ -149,13 +150,17 @@ class JenWorker:
             stats.rows_after_predicates += filtered.num_rows
             filtered = request.apply_derivations(filtered)
             if db_bloom is not None and request.join_key is not None:
-                keep = db_bloom.contains(
-                    filtered.column(request.join_key)
-                )
+                keys = filtered.column(request.join_key)
+                if local_bloom is not None:
+                    # Zigzag two-way step, fused: probe BF_DB and feed
+                    # the survivors into BF_H in one pass over the keys.
+                    keep = probe_and_insert(keys, db_bloom, local_bloom)
+                else:
+                    keep = db_bloom.contains(keys)
                 filtered = filtered.filter(keep)
-            stats.rows_after_bloom += filtered.num_rows
-            if local_bloom is not None and request.join_key is not None:
+            elif local_bloom is not None and request.join_key is not None:
                 local_bloom.add(filtered.column(request.join_key))
+            stats.rows_after_bloom += filtered.num_rows
             pieces.append(filtered.project(list(request.wire_columns)))
 
         if pieces:
@@ -173,9 +178,10 @@ class JenWorker:
     @staticmethod
     def partition_for_shuffle(table: Table, key: str,
                               num_workers: int) -> List[Table]:
-        """Split the wire table by the agreed hash for the shuffle."""
+        """Split the wire table by the agreed hash for the shuffle.
+
+        Single-pass kernel: one sort + one gather for all destinations;
+        the returned partitions are zero-copy row-range views.
+        """
         assignments = agreed_hash_partition(table.column(key), num_workers)
-        return [
-            table.filter(assignments == worker)
-            for worker in range(num_workers)
-        ]
+        return partition_table(table, assignments, num_workers)

@@ -1,0 +1,67 @@
+"""Vectorised hot-path kernels shared by every engine.
+
+The paper's argument is that hybrid-join cost is dominated by a handful
+of scan/shuffle/filter primitives, so this package makes exactly those
+primitives fast while keeping them *bit-identical* to their naive
+formulations (the differential battery in ``tests/test_kernels.py``
+pins that equivalence):
+
+* :mod:`repro.kernels.partition` — single-pass hash partitioning: one
+  stable argsort instead of one full-table boolean filter per
+  destination (O(n log n) vs O(n·p) for a p-way shuffle).
+* :mod:`repro.kernels.joinindex` — :class:`JoinBuildIndex`, the sorted
+  build side of the local equi-join, built once per worker build side
+  and reusable across probe fragments and (via the service-plane
+  cache) across queries on the same normalised build.
+* :mod:`repro.kernels.bloomops` — word-level Bloom-filter operations:
+  duplicate-collapsing scatter-OR insert, vectorised multi-hash bit
+  tests, and popcount without materialising individual bits.
+* :mod:`repro.kernels.reference` — the naive formulations every kernel
+  must match bit for bit; they also provide the "before" timings of
+  ``python -m repro bench``.
+
+``set_kernels_enabled(False)`` routes every kernel through its naive
+reference implementation.  The engines always call through this layer,
+so the wall-clock benchmark can measure genuinely identical end-to-end
+code paths with only the kernel implementations swapped.
+"""
+
+from __future__ import annotations
+
+_ENABLED = True
+
+
+def kernels_enabled() -> bool:
+    """Whether the vectorised implementations are active."""
+    return _ENABLED
+
+
+def set_kernels_enabled(enabled: bool) -> bool:
+    """Toggle the vectorised kernels (benchmark/debug switch).
+
+    Returns the previous setting so callers can restore it.
+    """
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(enabled)
+    return previous
+
+
+from repro.kernels.bloomops import popcount, scatter_or, test_bits  # noqa: E402
+from repro.kernels.joinindex import JoinBuildIndex, probe_join  # noqa: E402
+from repro.kernels.partition import (  # noqa: E402
+    partition_indices,
+    partition_table,
+)
+
+__all__ = [
+    "JoinBuildIndex",
+    "kernels_enabled",
+    "partition_indices",
+    "partition_table",
+    "popcount",
+    "probe_join",
+    "scatter_or",
+    "set_kernels_enabled",
+    "test_bits",
+]

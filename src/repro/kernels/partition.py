@@ -1,0 +1,119 @@
+"""Single-pass hash partitioning.
+
+The naive formulation used everywhere before this kernel existed —
+``[table.filter(assignments == d) for d in range(p)]`` — scans the full
+assignment array once *per destination*: O(n·p) work, which at the
+paper's 30-worker shuffles means 30 full-table boolean filters plus 30
+gathers.  The kernel computes destination assignments once, stable-sorts
+the row indices by destination (O(n log n)), gathers the table a single
+time in destination order, and hands out per-destination **zero-copy
+slices** of that one gather.
+
+Stability of the sort preserves original row order within each
+destination, so the output tables are bit-identical to the naive
+per-destination filters.  Rows whose assignment falls outside
+``[0, num_partitions)`` are dropped, exactly as the naive masks drop
+them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+import repro.kernels as _kernels
+from repro.kernels.reference import (
+    naive_partition_indices,
+    naive_partition_table,
+)
+
+
+def _sorted_bounds(assignments: np.ndarray, num_partitions: int
+                   ) -> Tuple[np.ndarray, np.ndarray]:
+    """Stable destination order plus per-destination slice bounds.
+
+    ``bounds[d]:bounds[d + 1]`` indexes destination ``d``'s rows inside
+    ``order``.
+
+    When every assignment is in range and the destination count fits 16
+    bits — every shuffle and repartition in this codebase — the sort
+    runs as a radix sort on a narrowed uint8/uint16 copy (numpy's
+    stable sort is radix for small integer dtypes, several times faster
+    than comparison-sorting int64; one byte beats two) and the bounds
+    come from one bincount.
+    Otherwise the general path comparison-sorts the original values;
+    out-of-range assignments then sort before ``bounds[0]`` (negatives)
+    or after ``bounds[-1]`` (>= num_partitions) and are thereby
+    excluded without a separate masking pass.
+    """
+    if num_partitions <= np.iinfo(np.uint16).max and assignments.size:
+        low = int(assignments.min())
+        high = int(assignments.max())
+        if low >= 0 and high < num_partitions:
+            narrow = np.uint8 if num_partitions <= 256 else np.uint16
+            order = np.argsort(
+                assignments.astype(narrow), kind="stable"
+            ).astype(np.int64, copy=False)
+            counts = np.bincount(assignments, minlength=num_partitions)
+            bounds = np.zeros(num_partitions + 1, dtype=np.int64)
+            np.cumsum(counts, out=bounds[1:])
+            return order, bounds
+    order = np.argsort(assignments, kind="stable").astype(np.int64,
+                                                          copy=False)
+    sorted_assignments = assignments[order]
+    bounds = np.searchsorted(
+        sorted_assignments,
+        np.arange(num_partitions + 1, dtype=assignments.dtype),
+        side="left",
+    )
+    return order, bounds
+
+
+def partition_indices(assignments: np.ndarray,
+                      num_partitions: int) -> List[np.ndarray]:
+    """Per-destination row-index arrays from one stable sort.
+
+    Equivalent to ``[np.flatnonzero(assignments == d) for d in
+    range(num_partitions)]`` — indices ascend within each destination —
+    at O(n log n) total instead of O(n·p).
+    """
+    if not _kernels.kernels_enabled():
+        return naive_partition_indices(assignments, num_partitions)
+    assignments = np.asarray(assignments)
+    if assignments.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return [empty] * num_partitions
+    order, bounds = _sorted_bounds(assignments, num_partitions)
+    return [
+        order[bounds[partition]:bounds[partition + 1]]
+        for partition in range(num_partitions)
+    ]
+
+
+def partition_table(table, assignments: np.ndarray,
+                    num_partitions: int) -> List:
+    """Split ``table`` into per-destination tables in one pass.
+
+    One stable argsort plus one full-table gather; each returned table
+    is a zero-copy row-range view of the gathered table, so downstream
+    re-slicing (shuffle concatenation, spill fragmenting) copies no
+    partition twice.  Bit-identical to filtering per destination.
+    """
+    if not _kernels.kernels_enabled():
+        return naive_partition_table(table, assignments, num_partitions)
+    assignments = np.asarray(assignments)
+    if len(assignments) != table.num_rows:
+        raise ValueError(
+            f"assignments length {len(assignments)} != table rows "
+            f"{table.num_rows}"
+        )
+    if table.num_rows == 0:
+        empty = table.slice(0, 0)
+        return [empty] * num_partitions
+    order, bounds = _sorted_bounds(assignments, num_partitions)
+    in_order = table.take(order)
+    return [
+        in_order.slice(int(bounds[partition]), int(bounds[partition + 1]))
+        for partition in range(num_partitions)
+    ]

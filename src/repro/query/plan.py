@@ -15,8 +15,9 @@ exactly that.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
+from repro.kernels.joinindex import JoinBuildIndex
 from repro.relational.aggregates import (
     group_by_aggregate,
     merge_partial_aggregates,
@@ -33,13 +34,20 @@ def apply_derivations(l_table: Table, query: HybridQuery) -> Table:
     return l_table
 
 
-def local_join(t_part: Table, l_part: Table, query: HybridQuery) -> Table:
+def local_join(t_part: Table, l_part: Table, query: HybridQuery,
+               build_index: Optional[JoinBuildIndex] = None) -> Table:
     """Join one worker's T-side rows with its L-side rows.
 
     The L side is the hash-table (build) side, as in JEN: the filtered
     HDFS data is already streaming in while the database data arrives
     later, so JEN builds on L'' and probes with the database rows
     (paper Section 4.4).  Output columns carry the query's prefixes.
+
+    ``build_index`` is an optional pre-built :class:`JoinBuildIndex`
+    over ``l_part``'s join keys; passing it skips the sort of the build
+    side, so a worker that probes the same build with several probe
+    fragments — or the service plane replaying a query on an unchanged
+    build — pays for the index once.
     """
     return join_tables(
         build=l_part,
@@ -48,6 +56,7 @@ def local_join(t_part: Table, l_part: Table, query: HybridQuery) -> Table:
         probe_key=query.db_join_key,
         build_prefix=query.hdfs_prefix,
         probe_prefix=query.db_prefix,
+        build_index=build_index,
     )
 
 

@@ -17,40 +17,26 @@ from typing import Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import TableError
+from repro.kernels.joinindex import JoinBuildIndex, probe_join
 from repro.relational.table import Table
 
 
 def hash_join_indices(
-    build_keys: np.ndarray, probe_keys: np.ndarray
+    build_keys: np.ndarray, probe_keys: np.ndarray,
+    build_index: Optional[JoinBuildIndex] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """All matching (build_row, probe_row) index pairs for an equi-join.
 
     Returns two int64 arrays of equal length: positions into the build
     side and the probe side.  Every pair of rows with equal keys appears
     exactly once, so duplicate keys multiply out as SQL requires.
+
+    ``build_index`` is an optional pre-sorted
+    :class:`~repro.kernels.JoinBuildIndex` over ``build_keys``; passing
+    one skips the build-side sort (the kernel verifies it covers these
+    keys before trusting it).
     """
-    build_keys = np.asarray(build_keys)
-    probe_keys = np.asarray(probe_keys)
-    if build_keys.size == 0 or probe_keys.size == 0:
-        empty = np.empty(0, dtype=np.int64)
-        return empty, empty
-
-    order = np.argsort(build_keys, kind="stable")
-    sorted_build = build_keys[order]
-    lo = np.searchsorted(sorted_build, probe_keys, side="left")
-    hi = np.searchsorted(sorted_build, probe_keys, side="right")
-    counts = (hi - lo).astype(np.int64)
-    total = int(counts.sum())
-    if total == 0:
-        empty = np.empty(0, dtype=np.int64)
-        return empty, empty
-
-    probe_idx = np.repeat(np.arange(len(probe_keys), dtype=np.int64), counts)
-    starts = np.zeros(len(probe_keys), dtype=np.int64)
-    np.cumsum(counts[:-1], out=starts[1:])
-    within = np.arange(total, dtype=np.int64) - np.repeat(starts, counts)
-    build_idx = order[np.repeat(lo.astype(np.int64), counts) + within]
-    return build_idx, probe_idx
+    return probe_join(build_keys, probe_keys, build_index=build_index)
 
 
 def join_tables(
@@ -60,16 +46,19 @@ def join_tables(
     probe_key: str,
     build_prefix: str = "",
     probe_prefix: str = "",
+    build_index: Optional[JoinBuildIndex] = None,
 ) -> Table:
     """Materialise the inner equi-join of two tables.
 
     Column name collisions are resolved with the given prefixes; it is an
     error if any collision remains after prefixing.  The join key appears
     once per side (possibly prefixed), exactly as the paper's SQL
-    produces.
+    produces.  ``build_index`` optionally reuses a pre-sorted build side
+    (see :func:`hash_join_indices`).
     """
     build_idx, probe_idx = hash_join_indices(
-        build.column(build_key), probe.column(probe_key)
+        build.column(build_key), probe.column(probe_key),
+        build_index=build_index,
     )
     build_rows = build.take(build_idx)
     probe_rows = probe.take(probe_idx)
@@ -133,8 +122,13 @@ def partition_by_hash(
     is the library-wide agreed hash (see :mod:`repro.edw.partitioner`).
     Used by both the database side and JEN when they shuffle with the
     *agreed* hash function of the repartition and zigzag joins.
+
+    Runs the single-pass partition kernel: one stable sort and one
+    gather regardless of ``num_partitions``, bit-identical to filtering
+    per destination.
     """
     from repro.edw.partitioner import agreed_hash_partition
+    from repro.kernels.partition import partition_table
 
     if num_partitions <= 0:
         raise TableError("num_partitions must be positive")
@@ -143,10 +137,7 @@ def partition_by_hash(
         assignments = agreed_hash_partition(keys, num_partitions)
     else:
         assignments = np.asarray(hash_function(keys, num_partitions))
-    return [
-        table.filter(assignments == partition)
-        for partition in range(num_partitions)
-    ]
+    return partition_table(table, assignments, num_partitions)
 
 
 def _prefix_mapping(names: Sequence[str], prefix: str) -> Dict[str, str]:

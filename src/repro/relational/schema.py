@@ -38,25 +38,30 @@ class DataType(enum.Enum):
 
     def numpy_dtype(self) -> np.dtype:
         """The numpy dtype backing this logical type's data array."""
-        mapping = {
-            DataType.INT32: np.dtype(np.int32),
-            DataType.INT64: np.dtype(np.int64),
-            DataType.FLOAT64: np.dtype(np.float64),
-            DataType.DATE: np.dtype(np.int32),
-            DataType.DICT_STRING: np.dtype(np.int32),
-        }
-        return mapping[self]
+        return _NUMPY_DTYPES[self]
 
     def default_width(self) -> int:
         """Default logical byte width used for movement accounting."""
-        mapping = {
-            DataType.INT32: 4,
-            DataType.INT64: 8,
-            DataType.FLOAT64: 8,
-            DataType.DATE: 4,
-            DataType.DICT_STRING: 16,
-        }
-        return mapping[self]
+        return _DEFAULT_WIDTHS[self]
+
+
+# Built once: numpy_dtype() is called for every column of every table
+# construction, so rebuilding these mappings per call showed up in the
+# wall-clock profiles.
+_NUMPY_DTYPES = {
+    DataType.INT32: np.dtype(np.int32),
+    DataType.INT64: np.dtype(np.int64),
+    DataType.FLOAT64: np.dtype(np.float64),
+    DataType.DATE: np.dtype(np.int32),
+    DataType.DICT_STRING: np.dtype(np.int32),
+}
+_DEFAULT_WIDTHS = {
+    DataType.INT32: 4,
+    DataType.INT64: 8,
+    DataType.FLOAT64: 8,
+    DataType.DATE: 4,
+    DataType.DICT_STRING: 16,
+}
 
 
 @dataclass(frozen=True)
@@ -90,6 +95,14 @@ class Schema:
             if column.name in self._by_name:
                 raise SchemaError(f"duplicate column name: {column.name!r}")
             self._by_name[column.name] = column
+        # names/positions are asked for on every projection, shuffle and
+        # serialization step; schemas are immutable, so compute once.
+        self._names: Tuple[str, ...] = tuple(
+            column.name for column in self._columns
+        )
+        self._positions: Dict[str, int] = {
+            name: index for index, name in enumerate(self._names)
+        }
 
     def __iter__(self) -> Iterator[Column]:
         return iter(self._columns)
@@ -109,7 +122,7 @@ class Schema:
     @property
     def names(self) -> Tuple[str, ...]:
         """Column names in declaration order."""
-        return tuple(column.name for column in self._columns)
+        return self._names
 
     def column(self, name: str) -> Column:
         """Look up a column by name, raising :class:`SchemaError` if absent."""
@@ -127,7 +140,7 @@ class Schema:
     def index_of(self, name: str) -> int:
         """Position of ``name`` in declaration order."""
         self.column(name)
-        return self.names.index(name)
+        return self._positions[name]
 
     def project(self, names: Sequence[str]) -> "Schema":
         """A new schema with only ``names``, in the requested order."""

@@ -68,6 +68,29 @@ class Table:
     # Construction helpers
     # ------------------------------------------------------------------
     @classmethod
+    def _view(
+        cls,
+        schema: Schema,
+        columns: Dict[str, np.ndarray],
+        dictionaries: Dict[str, np.ndarray],
+    ) -> "Table":
+        """Internal constructor for tables derived from a validated table.
+
+        ``take``/``slice``/``project``/``rename`` produce arrays whose
+        dtypes and lengths are consistent by construction, so re-running
+        the per-column checks of ``__init__`` is pure overhead — and at
+        thousands of slices per shuffle it dominated wall-clock
+        profiles.  External construction must go through ``__init__``.
+        """
+        table = cls.__new__(cls)
+        table.schema = schema
+        table._columns = columns
+        table._dictionaries = dictionaries
+        first = next(iter(columns.values()), None)
+        table._num_rows = len(first) if first is not None else 0
+        return table
+
+    @classmethod
     def empty(cls, schema: Schema) -> "Table":
         """A zero-row table with the given schema."""
         columns = {
@@ -89,9 +112,16 @@ class Table:
         (which they do whenever the parts were split from one table, the
         only case the engines need); otherwise codes would be remapped,
         which this substrate deliberately does not attempt.
+
+        Fast paths keep shuffles cheap: a single input comes back
+        unchanged, and when every row lives in one part (the common
+        skewed-shuffle case) that part is returned as-is instead of
+        being copied.
         """
         if not tables:
             raise TableError("cannot concatenate zero tables")
+        if len(tables) == 1:
+            return tables[0]
         schema = tables[0].schema
         for table in tables[1:]:
             if table.schema.names != schema.names:
@@ -99,6 +129,14 @@ class Table:
                     f"schema mismatch in concat: {table.schema.names} "
                     f"vs {schema.names}"
                 )
+        non_empty = [table for table in tables if table.num_rows]
+        if len(non_empty) == 1:
+            return non_empty[0]
+        if non_empty and len(non_empty) < len(tables):
+            # Empty parts contribute no rows and, being splits of the
+            # same source, no dictionary conflicts: drop them before
+            # paying for their (empty) array concatenations.
+            tables = non_empty
         columns = {
             name: np.concatenate([t.column(name) for t in tables])
             for name in schema.names
@@ -135,8 +173,11 @@ class Table:
 
     def column(self, name: str) -> np.ndarray:
         """The backing array for ``name`` (codes for dict-string columns)."""
-        self.schema.column(name)
-        return self._columns[name]
+        try:
+            return self._columns[name]
+        except KeyError:
+            self.schema.column(name)  # raises the descriptive SchemaError
+            raise
 
     def dictionary(self, name: str) -> np.ndarray:
         """The dictionary array for a dict-string column."""
@@ -161,7 +202,19 @@ class Table:
     # Core operations
     # ------------------------------------------------------------------
     def filter(self, mask: np.ndarray) -> "Table":
-        """Rows where ``mask`` is true."""
+        """Rows where ``mask`` is true.
+
+        ``mask`` must be boolean: an integer array would silently be
+        treated as nonzero-ness (not as row indices), which is never
+        what a caller holding indices wants — use :meth:`take` for
+        index gathers.
+        """
+        mask = np.asarray(mask)
+        if mask.dtype != np.bool_:
+            raise TableError(
+                f"filter mask must be boolean, got dtype {mask.dtype}; "
+                "use take() for integer row indices"
+            )
         if len(mask) != self._num_rows:
             raise TableError(
                 f"mask length {len(mask)} != table rows {self._num_rows}"
@@ -170,8 +223,10 @@ class Table:
 
     def take(self, indices: np.ndarray) -> "Table":
         """Rows at ``indices`` (gather), preserving dictionaries."""
-        columns = {name: arr[indices] for name, arr in self._columns.items()}
-        return Table(self.schema, columns, self._dictionaries)
+        columns = {
+            name: np.take(arr, indices) for name, arr in self._columns.items()
+        }
+        return Table._view(self.schema, columns, self._dictionaries)
 
     def project(self, names: Sequence[str]) -> "Table":
         """Keep only ``names``, in the requested order."""
@@ -182,7 +237,7 @@ class Table:
             for name in schema.names
             if name in self._dictionaries
         }
-        return Table(schema, columns, dictionaries)
+        return Table._view(schema, columns, dictionaries)
 
     def rename(self, mapping: Dict[str, str]) -> "Table":
         """Rename columns via ``mapping``."""
@@ -193,7 +248,7 @@ class Table:
         dictionaries = {
             mapping.get(name, name): d for name, d in self._dictionaries.items()
         }
-        return Table(schema, columns, dictionaries)
+        return Table._view(schema, columns, dictionaries)
 
     def with_column(self, column: Column, values: np.ndarray,
                     dictionary: Optional[np.ndarray] = None) -> "Table":
@@ -211,7 +266,7 @@ class Table:
         columns = {
             name: arr[start:stop] for name, arr in self._columns.items()
         }
-        return Table(self.schema, columns, self._dictionaries)
+        return Table._view(self.schema, columns, self._dictionaries)
 
     def split(self, parts: int) -> List["Table"]:
         """Split into ``parts`` contiguous, roughly equal row ranges."""

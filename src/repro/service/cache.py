@@ -1,6 +1,6 @@
 """Semantic caching for the query service.
 
-Two artifacts of a hybrid-join execution are worth keeping across a
+Three artifacts of a hybrid-join execution are worth keeping across a
 query stream:
 
 * **the result** — the paper's query template always groups and
@@ -14,7 +14,17 @@ query stream:
   the join key, *not* on the HDFS side of the query.  Two queries that
   share those (e.g. the same transaction filter joined against
   different log slices) can reuse one OR-merged filter, skipping the
-  ``cal_filter``/``combine_filter`` pipeline entirely.
+  ``cal_filter``/``combine_filter`` pipeline entirely;
+* **the per-worker join build indexes** — JEN's local join sorts each
+  worker's build side (the filtered HDFS rows it received) before
+  probing.  Two queries whose HDFS side is unchanged — same table,
+  predicate, derivations and join key, pruned by the same database
+  filter — deliver byte-identical build partitions to each worker, so
+  the sorted :class:`~repro.kernels.JoinBuildIndex` can be reused and
+  only the probe runs.  Reuse is *verified*: a cached index is compared
+  against the fresh build keys (O(n), versus the O(n log n) sort it
+  saves) and silently rebuilt on any mismatch, so a stale entry can
+  never change a result.
 
 Keys are *semantic*: predicates are normalised (conjunction and
 disjunction children sorted, literals rendered canonically), so two
@@ -142,6 +152,36 @@ def bloom_key(table_name: str, predicate: Predicate, key_column: str,
             f"|m={num_bits}|k={num_hashes}|s={seed}")
 
 
+def build_side_key(query: HybridQuery, num_workers: int,
+                   algorithm: str = "") -> str:
+    """Canonical key of the JEN workers' join build sides.
+
+    Everything that determines which HDFS rows land on which worker
+    participates: the HDFS table, its predicate and derivations, the
+    join keys, the worker count (the agreed hash fans out over it) and
+    the algorithm plus database predicate (they decide whether and with
+    which BF(T′) the scan was pruned).  Collisions are harmless — the
+    provider verifies cached indexes against the fresh keys before
+    trusting them — so this key only has to be *selective*, not
+    perfect.
+    """
+    derived = ";".join(
+        f"{d.name}={d.udf_name}({d.source})" for d in query.hdfs_derived
+    )
+    parts = [
+        f"hdfs={query.hdfs_table}",
+        f"key={query.hdfs_join_key}",
+        f"lpred={predicate_key(query.hdfs_predicate)}",
+        f"derived={derived}",
+        f"db={query.db_table}",
+        f"dbkey={query.db_join_key}",
+        f"tpred={predicate_key(query.db_predicate)}",
+        f"alg={algorithm}",
+        f"workers={num_workers}",
+    ]
+    return "&".join(parts)
+
+
 # ----------------------------------------------------------------------
 # Bounded LRU caches
 # ----------------------------------------------------------------------
@@ -212,6 +252,62 @@ class BloomCache(_LruCache):
     def __init__(self, capacity: int = 64,
                  metrics: Optional[MetricsRegistry] = None):
         super().__init__(capacity, "bloom", metrics)
+
+
+class JoinIndexCache(_LruCache):
+    """Build-side key + worker slot -> :class:`JoinBuildIndex`."""
+
+    def __init__(self, capacity: int = 64,
+                 metrics: Optional[MetricsRegistry] = None):
+        super().__init__(capacity, "joinindex", metrics)
+
+
+class CachingJoinIndexProvider:
+    """Cross-query memoisation of per-worker join build indexes.
+
+    Installed on :attr:`Jen.build_index_provider` for the duration of a
+    drain.  The service sets the current query's
+    :func:`build_side_key` context before executing the data plane; the
+    engine then asks this provider for each worker's index.  A cached
+    index is returned only if :meth:`JoinBuildIndex.matches` confirms
+    it was built over exactly the worker's fresh build keys — anything
+    else (first sight, eviction, a context collision, a fault-recovery
+    run that redistributed rows) builds and caches a new index.  Reuse
+    is therefore invisible to the data plane: the probe output is
+    bit-identical either way.
+    """
+
+    def __init__(self, jen, cache: JoinIndexCache):
+        self._jen = jen
+        self.cache = cache
+        self._context: Optional[str] = None
+
+    def set_context(self, context_key: Optional[str]) -> None:
+        """Scope subsequent lookups to one query's build-side key."""
+        self._context = context_key
+
+    def __call__(self, worker_slot: int, build_keys):
+        from repro.kernels.joinindex import JoinBuildIndex
+
+        if self._context is None:
+            return JoinBuildIndex(build_keys)
+        key = f"{self._context}|w{worker_slot}"
+        cached = self.cache.get(key)
+        if cached is not None and cached.matches(build_keys):
+            return cached
+        index = JoinBuildIndex(build_keys)
+        self.cache.put(key, index)
+        return index
+
+    def install(self) -> None:
+        """Hook this provider into the JEN engine."""
+        self._jen.build_index_provider = self
+
+    def uninstall(self) -> None:
+        """Detach from the engine (leave foreign providers alone)."""
+        if getattr(self._jen, "build_index_provider", None) is self:
+            self._jen.build_index_provider = None
+        self._context = None
 
 
 class CachingBloomBuilder:

@@ -39,7 +39,10 @@ from repro.service.admission import AdmissionConfig, AdmissionController
 from repro.service.cache import (
     BloomCache,
     CachingBloomBuilder,
+    CachingJoinIndexProvider,
+    JoinIndexCache,
     ResultCache,
+    build_side_key,
     plan_key,
 )
 from repro.service.feedback import FeedbackLoop
@@ -62,8 +65,10 @@ class ServiceConfig:
     chunks: int = 32
     result_cache_entries: int = 128
     bloom_cache_entries: int = 64
+    join_index_cache_entries: int = 64
     enable_result_cache: bool = True
     enable_bloom_cache: bool = True
+    enable_join_index_cache: bool = True
     enable_feedback: bool = True
     #: Simulated coordinator latency of answering from the result cache.
     cache_hit_seconds: float = 0.1
@@ -232,6 +237,11 @@ class QueryService:
             BloomCache(self.config.bloom_cache_entries,
                        metrics=self.metrics),
         )
+        self.join_index_provider = CachingJoinIndexProvider(
+            warehouse.jen,
+            JoinIndexCache(self.config.join_index_cache_entries,
+                           metrics=self.metrics),
+        )
         refiner = (self._refine_estimate if self.config.enable_feedback
                    else None)
         self.session = SqlSession(warehouse, estimate_refiner=refiner)
@@ -291,6 +301,8 @@ class QueryService:
         outcomes: List[QueryOutcome] = []
         if self.config.enable_bloom_cache:
             self.bloom_builder.install()
+        if self.config.enable_join_index_cache:
+            self.join_index_provider.install()
         try:
             for submission in sorted(batch,
                                      key=lambda s: (s.ticket.at,
@@ -303,6 +315,7 @@ class QueryService:
             engine.run()
         finally:
             self.bloom_builder.uninstall()
+            self.join_index_provider.uninstall()
         outcomes.sort(key=lambda outcome: outcome.ticket_id)
         # The engine's final clock includes queue-timeout timers that
         # fired as no-ops; the batch makespan is the last completion.
@@ -437,6 +450,9 @@ class QueryService:
         if algorithm == "auto":
             decision = self.session.advise(query)
             algorithm, rationale = decision.best, decision.rationale
+        if self.config.enable_join_index_cache:
+            self.join_index_provider.set_context(build_side_key(
+                query, self.warehouse.jen.num_workers, algorithm))
         join_result = algorithm_by_name(algorithm).run(
             self.warehouse, query)
         return algorithm, rationale, join_result
