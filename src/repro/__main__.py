@@ -9,6 +9,7 @@ Usage::
     python -m repro advise --sigma-t 0.1 --sigma-l 0.2
     python -m repro experiments [ids...]      # same as python -m repro.bench
     python -m repro bench --out BENCH_wallclock.json  # kernel wall clock
+    python -m repro fuzz --seeds 2015 2016 --artifacts fuzz-artifacts
 
 The demo warehouse is the paper's Table-1 workload at 1/25,000 scale,
 generated on the fly.
@@ -258,6 +259,21 @@ def _cmd_bench(args) -> int:
     return run_from_args(args)
 
 
+def _cmd_fuzz(args) -> int:
+    from repro.testkit.fuzz import run_fuzz
+
+    report = run_fuzz(
+        seeds=args.seeds,
+        cells_per_seed=args.cells_per_seed,
+        rows_scale=args.rows_scale,
+        include_edge_cases=args.edge_cases,
+        artifact_dir=args.artifacts,
+        shrink_budget=args.shrink_budget,
+    )
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -347,6 +363,26 @@ def main(argv=None) -> int:
 
     _bench_arguments(bench_parser)
 
+    fuzz_parser = subparsers.add_parser(
+        "fuzz", help="differential-fuzz sampled configs against the "
+                     "single-node oracle; failures are shrunk to "
+                     "minimal repros"
+    )
+    fuzz_parser.add_argument("--seeds", type=int, nargs="+",
+                             default=[2015], help="data-case seeds")
+    fuzz_parser.add_argument("--cells-per-seed", type=int, default=10,
+                             help="sampled config cells per data case")
+    fuzz_parser.add_argument("--rows-scale", type=float, default=1.0,
+                             help="scale factor for generated table "
+                                  "sizes (CI smoke uses < 1)")
+    fuzz_parser.add_argument("--edge-cases", action="store_true",
+                             help="also fuzz the named edge-case tables")
+    fuzz_parser.add_argument("--artifacts",
+                             help="directory for failing-seed artifacts "
+                                  "(JSON record + repro snippet)")
+    fuzz_parser.add_argument("--shrink-budget", type=int, default=150,
+                             help="max executions per shrink")
+
     args = parser.parse_args(argv)
     handlers = {
         "demo": _cmd_demo,
@@ -357,6 +393,7 @@ def main(argv=None) -> int:
         "sweep": _cmd_sweep,
         "experiments": _cmd_experiments,
         "bench": _cmd_bench,
+        "fuzz": _cmd_fuzz,
     }
     return handlers[args.command](args)
 

@@ -253,15 +253,21 @@ def run_end_to_end(repeats: int = 2, scale: float = 1 / 25_000,
     """Whole-algorithm wall clock, kernels disabled vs. enabled.
 
     Both modes run the *same* engine code on the *same* warehouse; only
-    the kernel dispatch flag differs.  Each algorithm's two results are
-    checked row-identical before timing, so a speedup can never come
-    from computing something different.
+    the kernel dispatch flag differs.  Before timing, both modes are
+    checked against the single-node oracle
+    (:mod:`repro.testkit.oracle`), so a speedup can never come from
+    computing something different — or from both modes sharing the same
+    wrong answer.
     """
     from repro import algorithm_by_name
+    from repro.testkit import oracle
     from repro.workload import build_paper_query
 
     warehouse, workload = _build_warehouse(scale)
     query = build_paper_query(workload)
+    expected = oracle.oracle_execute(
+        workload.t_table, workload.l_table, query
+    )
     results: Dict[str, dict] = {}
     for name in algorithms:
         algorithm = algorithm_by_name(name)
@@ -273,17 +279,18 @@ def run_end_to_end(repeats: int = 2, scale: float = 1 / 25_000,
             finally:
                 set_kernels_enabled(previous)
 
-        naive_rows = run_naive().result.to_rows()
-        kernel_run = algorithm.run(warehouse, query)
-        if kernel_run.result.to_rows() != naive_rows:
-            raise AssertionError(
-                f"{name}: kernel run diverged from the naive reference run"
+        for mode, run in (("naive", run_naive()),
+                          ("kernels", algorithm.run(warehouse, query))):
+            diff = oracle.compare_tables(
+                run.result, expected, label=f"{name} ({mode})"
             )
+            if diff is not None:
+                raise AssertionError(diff)
         naive_seconds, kernel_seconds = _time_pair(
             run_naive, lambda: algorithm.run(warehouse, query), repeats)
         results[name] = _entry(
             naive_seconds, kernel_seconds,
-            identical=True, result_rows=len(naive_rows),
+            identical=True, result_rows=expected.num_rows,
         )
     return results
 

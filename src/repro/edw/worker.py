@@ -20,6 +20,7 @@ from repro.errors import CatalogError
 from repro.kernels.partition import partition_table
 from repro.relational.expressions import Predicate
 from repro.relational.table import Table
+from repro.testkit import invariants
 
 
 @dataclass
@@ -167,4 +168,10 @@ class DbWorker:
         assignments = agreed_hash_partition(
             table.column(key_column), num_targets
         )
-        return partition_table(table, assignments, num_targets)
+        parts = partition_table(table, assignments, num_targets)
+        if invariants.checking_enabled():
+            invariants.check_hash_partition(
+                table, key_column, parts, num_targets,
+                agreed_hash_partition,
+            )
+        return parts

@@ -120,6 +120,17 @@ class QueryAbortError(FaultError):
         self.phase = phase
 
 
+class InvariantViolation(ReproError):
+    """An engine-internal invariant check failed (:mod:`repro.testkit`).
+
+    Only raised while :func:`repro.testkit.checking` is active: the
+    testkit's assertion hooks inside the shuffle, the partitioners, the
+    Bloom filters and the spill path verify exactly-once delivery,
+    partition completeness/disjointness, no-false-negative membership
+    and spill round-trip fidelity.  Production runs never see this.
+    """
+
+
 class ServiceError(ReproError):
     """The query-service plane was misconfigured or misused."""
 

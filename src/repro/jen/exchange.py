@@ -12,11 +12,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence
 
+import numpy as np
+
 from repro.core.bloom import BloomFilter
 from repro.errors import JoinError
 from repro.relational.table import Table
 from repro.query.plan import merge_partials, partial_tables_nonempty
 from repro.query.query import HybridQuery
+from repro.testkit import invariants
 
 
 @dataclass
@@ -63,6 +66,10 @@ def shuffle(outgoing: Sequence[Sequence[Table]],
     tuples_remote = 0
     retries = 0
     duplicates_suppressed = 0
+    delivery_counts = (
+        np.zeros((len(outgoing), num_destinations), dtype=np.int64)
+        if invariants.checking_enabled() else None
+    )
     for destination in range(num_destinations):
         accepted: List[Table] = []
         seen_senders = set()
@@ -84,6 +91,8 @@ def shuffle(outgoing: Sequence[Sequence[Table]],
                     continue
                 seen_senders.add(sender)
                 accepted.append(part)
+                if delivery_counts is not None:
+                    delivery_counts[sender, destination] += 1
                 tuples_shuffled += part.num_rows
                 if sender != destination:
                     tuples_remote += part.num_rows
@@ -93,6 +102,10 @@ def shuffle(outgoing: Sequence[Sequence[Table]],
         # partition is returned as-is — zero-copy end to end when only
         # one sender routed rows here.
         per_destination.append(Table.concat(accepted))
+    if delivery_counts is not None:
+        invariants.check_shuffle_delivery(
+            outgoing, per_destination, delivery_counts
+        )
     return ShuffleResult(
         per_destination=per_destination,
         tuples_shuffled=tuples_shuffled,

@@ -22,6 +22,7 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.errors import JoinError
+from repro.testkit import invariants
 
 _FRAGMENT_MULT = np.uint64(0xD6E8FEB86659FD93)
 
@@ -95,4 +96,10 @@ def fragment_tables(build, probe, build_key: str, probe_key: str,
     )
     build_fragments = partition_table(build, build_assignment, num_fragments)
     probe_fragments = partition_table(probe, probe_assignment, num_fragments)
-    return list(zip(build_fragments, probe_fragments))
+    fragments = list(zip(build_fragments, probe_fragments))
+    if invariants.checking_enabled():
+        invariants.check_spill_fragments(
+            build, probe, build_key, probe_key, fragments,
+            num_fragments, fragment_hash_partition,
+        )
+    return fragments

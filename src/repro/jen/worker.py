@@ -21,6 +21,7 @@ from repro.hdfs.filesystem import HdfsFileSystem, HdfsTableMeta
 from repro.relational.expressions import Predicate
 from repro.relational.table import Table
 from repro.query.query import DerivedColumn, HybridQuery
+from repro.testkit import invariants
 
 
 @dataclass(frozen=True)
@@ -184,4 +185,9 @@ class JenWorker:
         the returned partitions are zero-copy row-range views.
         """
         assignments = agreed_hash_partition(table.column(key), num_workers)
-        return partition_table(table, assignments, num_workers)
+        parts = partition_table(table, assignments, num_workers)
+        if invariants.checking_enabled():
+            invariants.check_hash_partition(
+                table, key, parts, num_workers, agreed_hash_partition
+            )
+        return parts

@@ -1,0 +1,282 @@
+"""The trusted single-node oracle for hybrid queries.
+
+:func:`oracle_execute` answers any :class:`~repro.query.query.
+HybridQuery` over two plain tables using nothing but numpy primitives
+and Python dictionaries: a dict-based hash join, row-at-a-time UDF
+evaluation for derived columns, and a dict-based group-by.  It shares
+*no* code with the engines — not the partitioners, not the kernels, not
+even the shared local-join/aggregate plan steps that
+:func:`repro.query.executor.reference_join` reuses — so a bug in any
+shared kernel cannot cancel out between the system under test and this
+oracle.
+
+The comparison helpers treat results as **row multisets**: every engine
+in the reproduction is exact, so two correct executors may only differ
+in row order.  :func:`compare_tables` returns ``None`` on equivalence
+or a readable first-divergence diff (missing rows, extra rows,
+first differing sorted position) meant to be pasted straight into a bug
+report.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.query.query import HybridQuery
+from repro.relational.aggregates import AggregateSpec
+from repro.relational.schema import Column, DataType, Schema
+from repro.relational.table import Table, table_from_rows
+
+Rows = List[Tuple]
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def _filter_rows(table: Table, predicate) -> Table:
+    """Boolean-mask filter via plain numpy indexing (no Table.filter)."""
+    mask = np.asarray(predicate.evaluate(table), dtype=bool)
+    columns = {
+        name: table.column(name)[mask] for name in table.schema.names
+    }
+    dictionaries = {
+        column.name: table.dictionary(column.name)
+        for column in table.schema
+        if column.dtype is DataType.DICT_STRING
+    }
+    return Table(table.schema, columns, dictionaries)
+
+
+def _apply_derived_rowwise(table: Table, query: HybridQuery) -> Table:
+    """Compute derived columns one row at a time (no memoised kernel).
+
+    Deliberately the dumbest correct implementation: the UDF runs per
+    row over the materialised strings, and the derived dictionary is
+    rebuilt with ``np.unique`` — independently of the per-dictionary
+    memoisation the engines use.
+    """
+    for derived in query.hdfs_derived:
+        source_values = table.strings(derived.source)
+        derived_values = np.array(
+            [derived.function(value) for value in source_values],
+            dtype=object,
+        )
+        dictionary, codes = np.unique(derived_values, return_inverse=True)
+        column = Column(derived.name, DataType.DICT_STRING,
+                        derived.width_bytes)
+        table = table.with_column(
+            column, codes.astype(np.int32), dictionary=dictionary
+        )
+    return table
+
+
+def _dict_hash_join(t_table: Table, l_table: Table,
+                    query: HybridQuery) -> Table:
+    """Inner equi-join via a Python dict, output columns prefixed."""
+    build: Dict[int, List[int]] = {}
+    l_keys = l_table.column(query.hdfs_join_key)
+    for row, key in enumerate(l_keys.tolist()):
+        build.setdefault(key, []).append(row)
+
+    t_matches: List[int] = []
+    l_matches: List[int] = []
+    for row, key in enumerate(t_table.column(query.db_join_key).tolist()):
+        for l_row in build.get(key, ()):
+            t_matches.append(row)
+            l_matches.append(l_row)
+    t_idx = np.asarray(t_matches, dtype=np.int64)
+    l_idx = np.asarray(l_matches, dtype=np.int64)
+
+    columns: Dict[str, np.ndarray] = {}
+    dictionaries: Dict[str, np.ndarray] = {}
+    schema_columns: List[Column] = []
+    for prefix, side, idx in (
+        (query.db_prefix, t_table, t_idx),
+        (query.hdfs_prefix, l_table, l_idx),
+    ):
+        for column in side.schema:
+            name = f"{prefix}{column.name}"
+            schema_columns.append(
+                Column(name, column.dtype, column.width_bytes)
+            )
+            columns[name] = side.column(column.name)[idx]
+            if column.dtype is DataType.DICT_STRING:
+                dictionaries[name] = side.dictionary(column.name)
+    return Table(Schema(schema_columns), columns, dictionaries)
+
+
+def _group_value(table: Table, name: str, row: int):
+    column = table.schema.column(name)
+    if column.dtype is DataType.DICT_STRING:
+        return table.dictionary(name)[table.column(name)[row]]
+    return table.column(name)[row].item()
+
+
+def _aggregate_rowwise(joined: Table, query: HybridQuery) -> Table:
+    """Dict-based group-by over the joined rows.
+
+    ``avg`` is decomposed into (sum, count) during accumulation; the
+    other functions accumulate directly.  Output rows come back sorted
+    by ascending group value (strings for dict-string group columns) —
+    a deterministic order, though callers should still compare as
+    multisets via :func:`compare_tables`.
+    """
+    group_names = list(query.group_by)
+    specs = list(query.aggregates)
+    groups: Dict[Tuple, List] = {}
+    for row in range(joined.num_rows):
+        key = tuple(
+            _group_value(joined, name, row) for name in group_names
+        )
+        state = groups.get(key)
+        if state is None:
+            state = [_fresh_state(spec) for spec in specs]
+            groups[key] = state
+        for spec, accumulator in zip(specs, state):
+            _accumulate(spec, accumulator, joined, row)
+
+    schema_columns = [joined.schema.column(name) for name in group_names]
+    schema_columns += [
+        Column(spec.output_name(), spec.output_dtype()) for spec in specs
+    ]
+    rows = []
+    for key in sorted(groups):
+        rows.append(key + tuple(
+            _finalise(spec, accumulator)
+            for spec, accumulator in zip(specs, groups[key])
+        ))
+    return table_from_rows(Schema(schema_columns), rows)
+
+
+def _fresh_state(spec: AggregateSpec):
+    if spec.function == "count":
+        return [0]
+    if spec.function == "sum":
+        return [0]
+    if spec.function == "avg":
+        return [0, 0]  # running sum, running count
+    return [None]  # min / max
+
+
+def _accumulate(spec: AggregateSpec, state: List, joined: Table,
+                row: int) -> None:
+    if spec.function == "count":
+        state[0] += 1
+        return
+    value = joined.column(spec.column)[row].item()
+    if spec.function == "sum":
+        state[0] += value
+    elif spec.function == "avg":
+        state[0] += value
+        state[1] += 1
+    elif spec.function == "min":
+        state[0] = value if state[0] is None else min(state[0], value)
+    else:  # max
+        state[0] = value if state[0] is None else max(state[0], value)
+
+
+def _finalise(spec: AggregateSpec, state: List):
+    if spec.function == "avg":
+        return state[0] / state[1] if state[1] else 0.0
+    return state[0]
+
+
+def oracle_execute(t_table: Table, l_table: Table,
+                   query: HybridQuery) -> Table:
+    """Run ``query`` over unpartitioned tables with the trusted oracle.
+
+    The pipeline mirrors the query semantics, not any engine: filter
+    both sides, project, derive row-wise, dict-hash-join, apply the
+    post-join predicate, group and aggregate with Python dicts.
+    """
+    t_side = _filter_rows(t_table, query.db_predicate)
+    t_side = t_side.project(list(query.db_projection))
+
+    l_side = _filter_rows(l_table, query.hdfs_predicate)
+    l_side = l_side.project(list(query.hdfs_projection))
+    l_side = _apply_derived_rowwise(l_side, query)
+    l_side = l_side.project(list(query.hdfs_wire_columns()))
+
+    joined = _dict_hash_join(t_side, l_side, query)
+    if query.post_join_predicate is not None:
+        joined = _filter_rows(joined, query.post_join_predicate)
+    return _aggregate_rowwise(joined, query)
+
+
+# ----------------------------------------------------------------------
+# Canonical comparison
+# ----------------------------------------------------------------------
+def canonical_rows(result: Union[Table, Sequence[Tuple]]) -> Rows:
+    """Rows as a sorted list of tuples (the canonical multiset form)."""
+    rows = result.to_rows() if isinstance(result, Table) else list(result)
+    return sorted(rows)
+
+
+def compare_tables(actual: Union[Table, Sequence[Tuple]],
+                   expected: Union[Table, Sequence[Tuple]],
+                   label: str = "result",
+                   max_examples: int = 5) -> Optional[str]:
+    """None when the row multisets agree; a readable diff otherwise.
+
+    The diff leads with the first divergence in canonical (sorted)
+    order, then lists up to ``max_examples`` missing and extra rows
+    with their multiplicities.
+    """
+    if isinstance(actual, Table) and isinstance(expected, Table):
+        if actual.schema.names != expected.schema.names:
+            return (
+                f"{label}: column mismatch: actual "
+                f"{list(actual.schema.names)} vs expected "
+                f"{list(expected.schema.names)}"
+            )
+    actual_rows = canonical_rows(actual)
+    expected_rows = canonical_rows(expected)
+    if actual_rows == expected_rows:
+        return None
+
+    lines = [
+        f"{label}: row multisets diverge "
+        f"({len(actual_rows)} actual rows vs {len(expected_rows)} expected)"
+    ]
+    for position, (got, want) in enumerate(zip(actual_rows, expected_rows)):
+        if got != want:
+            lines.append(
+                f"  first divergence at sorted row {position}: "
+                f"actual={got!r} expected={want!r}"
+            )
+            break
+    else:
+        position = min(len(actual_rows), len(expected_rows))
+        longer = "actual" if len(actual_rows) > len(expected_rows) \
+            else "expected"
+        surplus = (actual_rows if longer == "actual" else expected_rows)
+        lines.append(
+            f"  first divergence at sorted row {position}: only "
+            f"{longer} continues, with {surplus[position]!r}"
+        )
+    missing = Counter(expected_rows) - Counter(actual_rows)
+    extra = Counter(actual_rows) - Counter(expected_rows)
+    for title, bag in (("missing from actual", missing),
+                       ("unexpected in actual", extra)):
+        if not bag:
+            continue
+        total = sum(bag.values())
+        lines.append(f"  {title}: {total} row(s)")
+        for row, count in list(sorted(bag.items()))[:max_examples]:
+            suffix = f" (x{count})" if count > 1 else ""
+            lines.append(f"    {row!r}{suffix}")
+        if len(bag) > max_examples:
+            lines.append(f"    ... and {len(bag) - max_examples} more")
+    return "\n".join(lines)
+
+
+def assert_equivalent(actual: Union[Table, Sequence[Tuple]],
+                      expected: Union[Table, Sequence[Tuple]],
+                      label: str = "result") -> None:
+    """Raise AssertionError with the first-divergence diff on mismatch."""
+    diff = compare_tables(actual, expected, label=label)
+    if diff is not None:
+        raise AssertionError(diff)

@@ -1,9 +1,10 @@
 """Chaos battery: every join algorithm under injected faults.
 
-Differential testing against :func:`repro.reference_join`: whatever the
-fault plan does — crashes mid-scan, crashes mid-shuffle, stragglers,
-lossy links — every algorithm must return bit-identical rows, scan every
-HDFS row exactly once (committed work never double-counts), and pay a
+Differential testing against the single-node oracle
+(:mod:`repro.testkit.oracle`): whatever the fault plan does — crashes
+mid-scan, crashes mid-shuffle, stragglers, lossy links — every
+algorithm must return the oracle's row multiset, scan every HDFS row
+exactly once (committed work never double-counts), and pay a
 non-negative recovery overhead on the simulated clock.
 
 The tier-1 smoke set runs each fault class on two representative
@@ -15,10 +16,11 @@ from __future__ import annotations
 
 import pytest
 
-from repro import algorithm_by_name, reference_join
+from repro import algorithm_by_name
 from repro.errors import FaultError, QueryAbortError, WorkerCrashError
 from repro.faults import FaultPlan
 from repro.service import AdmissionConfig, QueryService, ServiceConfig
+from repro.testkit import oracle
 from tests.conftest import build_test_warehouse
 
 #: name -> fault spec; one entry per fault class the engine recovers from.
@@ -50,9 +52,10 @@ def chaos_warehouse(paper_workload):
 
 @pytest.fixture(scope="module")
 def reference_rows(paper_workload, paper_query):
-    return reference_join(
+    """Canonical (sorted) oracle rows — compare via canonical_rows."""
+    return oracle.canonical_rows(oracle.oracle_execute(
         paper_workload.t_table, paper_workload.l_table, paper_query
-    ).to_rows()
+    ))
 
 
 @pytest.fixture(scope="module")
@@ -76,7 +79,7 @@ def run_with_faults(warehouse, query, algorithm, spec, seed=11):
 
 def check_differential(result, baseline, reference_rows):
     """The three chaos invariants, shared by smoke and full grids."""
-    assert result.result.to_rows() == reference_rows
+    assert oracle.canonical_rows(result.result) == reference_rows
     # Exactly-once: committed scan work matches the fault-free run even
     # though crashes discarded partial output and blocks were re-dealt.
     assert result.stats.hdfs_rows_scanned == \
@@ -206,7 +209,7 @@ class TestServiceReAdmission:
             warehouse.disarm_faults()
         assert outcome.status == "ok"
         assert outcome.fault_retries_used == 1
-        assert outcome.result.to_rows() == reference_rows
+        assert oracle.canonical_rows(outcome.result) == reference_rows
         assert service.metrics.counter("service.fault_retries").value == 1
 
     def test_persistent_abort_fails_with_typed_error(self, paper_workload,
@@ -269,4 +272,4 @@ class TestFailWorkerGuard:
         warehouse = build_test_warehouse(paper_workload)
         warehouse.jen.fail_worker(7)
         result = algorithm_by_name("zigzag").run(warehouse, paper_query)
-        assert result.result.to_rows() == reference_rows
+        assert oracle.canonical_rows(result.result) == reference_rows

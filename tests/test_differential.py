@@ -1,0 +1,405 @@
+"""Differential tests: the metamorphic config grid vs. the oracle.
+
+Tier-1 runs the seeded 200+-cell :func:`repro.testkit.generator.
+default_grid` — every algorithm, worker counts {1, 4, 30}, all HDFS
+formats, kernels on/off, fault plans, cold/warm caches — with the
+engine invariant hooks armed, asserting each cell's result equals the
+single-node oracle's row multiset.  The ``slow``-marked wide sweep
+(``pytest -m slow``) crosses the full matrix over extra seeds and is
+the nightly fuzz entry point.
+
+The remaining classes test the testkit itself: diff readability, each
+invariant hook catching a seeded corruption, the shrinker reducing an
+injected engine bug to a handful of rows, the fuzz driver's artifact
+trail, and the join-index cache's verified collision-rebuild path.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.bloom import BloomFilter
+from repro.edw.partitioner import agreed_hash_partition
+from repro.errors import InvariantViolation
+from repro.kernels.joinindex import JoinBuildIndex
+from repro.kernels.partition import partition_table
+from repro.relational.schema import Column, DataType, Schema
+from repro.relational.table import table_from_rows
+from repro.testkit import checking, fuzz, generator, oracle, shrink
+from repro.testkit.generator import (
+    ALL_ALGORITHMS,
+    ConfigCell,
+    WarehouseCache,
+    default_grid,
+    run_cell,
+)
+
+GRID = default_grid()
+GRID_IDS = [
+    f"{case.name}:{cell.label()}" for case, cell in GRID
+]
+
+
+@pytest.fixture(scope="module")
+def warehouse_cache():
+    """Shared loaded warehouses across all grid cells (read-only)."""
+    return WarehouseCache()
+
+
+def _int_table(values, name="k"):
+    schema = Schema([Column(name, DataType.INT64)])
+    return table_from_rows(schema, [(int(v),) for v in values])
+
+
+# ----------------------------------------------------------------------
+# The tier-1 grid
+# ----------------------------------------------------------------------
+class TestDefaultGrid:
+    def test_grid_spans_at_least_200_cells(self):
+        assert len(GRID) >= 200
+
+    def test_grid_covers_every_metamorphic_axis(self):
+        cells = [cell for _, cell in GRID]
+        assert {cell.algorithm for cell in cells} == set(ALL_ALGORITHMS)
+        assert {cell.workers for cell in cells} >= {1, 4, 30}
+        assert {cell.format_name for cell in cells} >= \
+            {"parquet", "text", "orc"}
+        assert {cell.kernels for cell in cells} == {True, False}
+        assert any(cell.fault_spec for cell in cells)
+        assert any(cell.cache_warm for cell in cells)
+        case_names = {case.name for case, _ in GRID}
+        assert {"empty-t-prime", "all-duplicate-keys", "zipf-skew",
+                "empty-result", "wide-dtypes"} <= case_names
+
+    @pytest.mark.parametrize(("case", "cell"), GRID, ids=GRID_IDS)
+    def test_cell_matches_oracle(self, case, cell, warehouse_cache):
+        with checking():
+            result = run_cell(
+                case, cell, warehouse=warehouse_cache.get(case, cell)
+            )
+        oracle.assert_equivalent(
+            result, case.oracle_rows(), label=f"{case.name}:{cell.label()}"
+        )
+
+
+@pytest.mark.slow
+class TestWideSweep:
+    """The full algorithms x axes cross over extra seeds (nightly)."""
+
+    @pytest.mark.parametrize("seed", [2016, 2017, 2018])
+    def test_wide_grid_matches_oracle(self, seed):
+        cache = WarehouseCache()
+        failures = []
+        with checking():
+            for case, cell in generator.wide_grid([seed]):
+                result = run_cell(
+                    case, cell, warehouse=cache.get(case, cell)
+                )
+                diff = oracle.compare_tables(
+                    result, case.oracle_rows(),
+                    label=f"{case.name}:{cell.label()}",
+                )
+                if diff is not None:
+                    failures.append(diff)
+        assert not failures, "\n\n".join(failures)
+
+
+# ----------------------------------------------------------------------
+# Oracle comparison helpers
+# ----------------------------------------------------------------------
+class TestOracleComparison:
+    def test_equal_multisets_in_any_order(self):
+        assert oracle.compare_tables(
+            [(2, "b"), (1, "a"), (1, "a")],
+            [(1, "a"), (2, "b"), (1, "a")],
+        ) is None
+
+    def test_diff_reports_first_divergence_and_multiplicity(self):
+        diff = oracle.compare_tables(
+            [(1, "a")],
+            [(1, "a"), (2, "b"), (2, "b")],
+            label="probe",
+        )
+        assert "probe: row multisets diverge (1 actual rows vs 3" in diff
+        assert "first divergence at sorted row 1" in diff
+        assert "missing from actual: 2 row(s)" in diff
+        assert "(2, 'b') (x2)" in diff
+
+    def test_diff_reports_extra_rows(self):
+        diff = oracle.compare_tables([(9,), (1,)], [(1,)])
+        assert "unexpected in actual: 1 row(s)" in diff
+        assert "(9,)" in diff
+
+    def test_schema_mismatch_reported_before_rows(self):
+        left = _int_table([1], name="a")
+        right = _int_table([1], name="b")
+        diff = oracle.compare_tables(left, right)
+        assert "column mismatch" in diff
+
+    def test_assert_equivalent_raises_with_label(self):
+        with pytest.raises(AssertionError, match="mycell"):
+            oracle.assert_equivalent([(1,)], [(2,)], label="mycell")
+
+
+# ----------------------------------------------------------------------
+# Invariant hooks
+# ----------------------------------------------------------------------
+class TestInvariantHooks:
+    def test_double_delivery_is_caught(self):
+        counts = np.array([[1, 2]], dtype=np.int64)
+        with checking(), pytest.raises(InvariantViolation,
+                                       match="not exactly-once"):
+            from repro.testkit import invariants
+            invariants.check_shuffle_delivery([], [], counts)
+
+    def test_partition_row_loss_is_caught(self):
+        from repro.testkit import invariants
+
+        table = _int_table(range(40))
+        assignments = agreed_hash_partition(table.column("k"), 4)
+        parts = partition_table(table, assignments, 4)
+        parts[0] = parts[0].take(np.arange(max(parts[0].num_rows - 1, 0)))
+        with checking(), pytest.raises(InvariantViolation,
+                                       match="completeness"):
+            invariants.check_hash_partition(
+                table, "k", parts, 4, agreed_hash_partition
+            )
+
+    def test_misrouted_partition_row_is_caught(self):
+        from repro.testkit import invariants
+
+        table = _int_table(range(40))
+        assignments = agreed_hash_partition(table.column("k"), 4)
+        parts = partition_table(table, assignments, 4)
+        parts[0], parts[1] = parts[1], parts[0]
+        with checking(), pytest.raises(InvariantViolation,
+                                       match="disjointness"):
+            invariants.check_hash_partition(
+                table, "k", parts, 4, agreed_hash_partition
+            )
+
+    def test_bloom_false_negative_is_caught(self):
+        keys = np.arange(50, dtype=np.int64)
+        with checking():
+            bloom = BloomFilter(num_bits=1024)
+            bloom.add(keys)
+            bloom._words[:] = 0  # corrupt: silently lose every bit
+            with pytest.raises(InvariantViolation,
+                               match="false negative"):
+                bloom.contains(keys)
+
+    def test_bloom_shadow_survives_merge(self):
+        keys = np.arange(30, dtype=np.int64)
+        with checking():
+            source = BloomFilter(num_bits=1024)
+            source.add(keys)
+            merged = BloomFilter(num_bits=1024)
+            merged.union_in_place(source)
+            merged._words[:] = 0
+            with pytest.raises(InvariantViolation,
+                               match="false negative"):
+                merged.contains(keys)
+
+    def test_spill_misalignment_is_caught(self):
+        from repro.jen.spill import fragment_hash_partition
+        from repro.testkit import invariants
+
+        build = _int_table(range(60))
+        probe = _int_table(range(60))
+        assignment = fragment_hash_partition(build.column("k"), 3)
+        build_parts = partition_table(build, assignment, 3)
+        probe_parts = partition_table(probe, assignment, 3)
+        fragments = list(zip(build_parts, reversed(probe_parts)))
+        with checking(), pytest.raises(InvariantViolation,
+                                       match="misalignment"):
+            invariants.check_spill_fragments(
+                build, probe, "k", "k", fragments, 3,
+                fragment_hash_partition,
+            )
+
+    def test_hooks_are_inert_outside_checking(self):
+        """Production pays one flag test; corrupt inputs never raise."""
+        from repro.testkit import invariants
+
+        counts = np.array([[7]], dtype=np.int64)
+        invariants.check_shuffle_delivery([], [], counts)
+        table = _int_table(range(10))
+        invariants.check_hash_partition(
+            table, "k", [], 4, agreed_hash_partition
+        )
+
+    def test_exactly_once_holds_under_message_duplication(self):
+        """The fault injector re-sends and duplicates shuffle messages;
+        the receiver's dedup must still accept each partition once."""
+        case = generator.generate_data_case(seed=31, t_rows=400,
+                                            l_rows=1_600)
+        cell = ConfigCell(algorithm="repartition", workers=30,
+                          fault_spec="drop:shuffle:0.05,dup:shuffle:0.2")
+        with checking():
+            result = run_cell(case, cell)
+        oracle.assert_equivalent(result, case.oracle_rows(),
+                                 label=cell.label())
+
+
+# ----------------------------------------------------------------------
+# Shrinker
+# ----------------------------------------------------------------------
+@pytest.fixture
+def broken_probe(monkeypatch):
+    """Inject a divergence: the probe kernel drops its last match pair.
+
+    The oracle joins with a Python dict, so it is immune — exactly the
+    kind of silent engine bug the shrinker exists for.
+    """
+    original = JoinBuildIndex.probe
+
+    def dropping_probe(self, probe_keys):
+        build_idx, probe_idx = original(self, probe_keys)
+        return build_idx[:-1], probe_idx[:-1]
+
+    monkeypatch.setattr(JoinBuildIndex, "probe", dropping_probe)
+
+
+class TestShrinker:
+    def test_passing_cell_returns_none(self):
+        case = generator.generate_data_case(seed=3, t_rows=200, l_rows=800)
+        assert shrink.shrink(case, ConfigCell(algorithm="zigzag"),
+                             max_evaluations=5) is None
+
+    def test_injected_divergence_shrinks_to_minimal_repro(
+            self, broken_probe):
+        case = generator.generate_data_case(seed=7, t_rows=300,
+                                            l_rows=900)
+        cell = ConfigCell(algorithm="zigzag", workers=30,
+                          format_name="text", kernels=True)
+        outcome = shrink.shrink(case, cell, max_evaluations=400)
+        assert outcome is not None
+        # The acceptance bar: a handful of rows, found automatically.
+        assert 1 <= outcome.total_rows <= 10
+        assert outcome.evaluations <= 400
+        # The bug needs no non-default axis, so all were reduced away.
+        assert outcome.reduced_axes() == []
+        assert outcome.cell.workers == 4
+        assert outcome.cell.format_name == "parquet"
+        snippet = outcome.snippet()
+        assert "generator.with_rows(" in snippet
+        assert "generate_data_case(seed=7)" in snippet
+        assert "run_cell" in snippet
+        assert "row multisets diverge" in outcome.diff
+        assert "shrunk" in outcome.report()
+
+    def test_shrink_does_not_change_failure_kind(self, broken_probe):
+        """A divergence must not 'shrink' into an unrelated crash (e.g.
+        the empty-table loader error)."""
+        case = generator.generate_data_case(seed=7, t_rows=300,
+                                            l_rows=900)
+        cell = ConfigCell(algorithm="zigzag", workers=30,
+                          format_name="text", kernels=True)
+        outcome = shrink.shrink(case, cell, max_evaluations=400)
+        assert "row multisets diverge" in outcome.diff
+        assert "raised" not in outcome.diff
+
+
+# ----------------------------------------------------------------------
+# Fuzz driver
+# ----------------------------------------------------------------------
+class TestFuzzDriver:
+    def test_clean_run_reports_ok(self):
+        report = fuzz.run_fuzz(seeds=[2015], cells_per_seed=5,
+                               rows_scale=0.2)
+        assert report.ok
+        assert report.cells_run == 5
+        assert "0 failure(s)" in report.render()
+
+    def test_failures_are_shrunk_and_written_as_artifacts(
+            self, broken_probe, tmp_path):
+        report = fuzz.run_fuzz(
+            seeds=[2015], cells_per_seed=12, rows_scale=0.2,
+            artifact_dir=str(tmp_path), shrink_budget=120,
+        )
+        assert not report.ok
+        assert report.artifact_paths
+        record = json.loads(
+            (tmp_path / sorted(p.name for p in tmp_path.glob("*.json"))[0])
+            .read_text()
+        )
+        assert record["kind"] == "divergence"
+        assert "generator." in record["provenance"]
+        assert record["shrunk_rows"] <= 10
+        assert "run_cell" in record["snippet"]
+        snippets = list(tmp_path.glob("*.py"))
+        assert snippets, "repro snippet artifact missing"
+
+    def test_cli_exit_codes(self, broken_probe, capsys):
+        from repro.__main__ import main
+
+        code = main(["fuzz", "--seeds", "2015", "--cells-per-seed", "8",
+                     "--rows-scale", "0.2", "--shrink-budget", "60"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAIL" in out
+
+
+# ----------------------------------------------------------------------
+# Join-index cache: verified collision rebuild (service/cache.py)
+# ----------------------------------------------------------------------
+class TestJoinIndexCacheCollision:
+    def test_colliding_key_is_verified_and_rebuilt(self):
+        from repro.service.cache import (
+            CachingJoinIndexProvider,
+            JoinIndexCache,
+        )
+
+        cache = JoinIndexCache(capacity=8)
+        provider = CachingJoinIndexProvider(jen=None, cache=cache)
+        provider.set_context("colliding-context")
+        keys_a = np.array([5, 1, 3, 3], dtype=np.int64)
+        first = provider(0, keys_a)
+        assert provider(0, keys_a) is first  # verified hit
+        hits_before = cache.hits.value
+
+        # Same context key, different build side: matches() must reject
+        # the stale entry and a fresh index must replace it.
+        keys_b = np.array([2, 9], dtype=np.int64)
+        rebuilt = provider(0, keys_b)
+        assert rebuilt is not first
+        assert rebuilt.matches(keys_b)
+        build_idx, probe_idx = rebuilt.probe(
+            np.array([9, 4, 2], dtype=np.int64)
+        )
+        assert keys_b[build_idx].tolist() == [9, 2]
+        assert probe_idx.tolist() == [0, 2]
+        # The rebuilt index was re-cached under the same key.
+        assert provider(0, keys_b) is rebuilt
+        assert cache.hits.value > hits_before
+
+    def test_poisoned_cache_cannot_change_a_result(self):
+        """End-to-end: pre-seed every worker slot with an index over the
+        wrong keys; the engine-side verification must rebuild them all
+        and the query must still match the oracle."""
+        from repro.service.cache import (
+            CachingJoinIndexProvider,
+            JoinIndexCache,
+        )
+
+        case = generator.generate_data_case(seed=13, t_rows=400,
+                                            l_rows=1_600)
+        warehouse = generator.build_cell_warehouse(case, 4, "parquet")
+        cache = JoinIndexCache(capacity=64)
+        wrong = np.array([123456789], dtype=np.int64)
+        for slot in range(warehouse.jen.num_workers):
+            cache.put(f"poison|w{slot}", JoinBuildIndex(wrong))
+        provider = CachingJoinIndexProvider(warehouse.jen, cache)
+        provider.set_context("poison")
+        provider.install()
+        try:
+            result = run_cell(
+                case, ConfigCell(algorithm="zigzag"), warehouse=warehouse
+            )
+        finally:
+            provider.uninstall()
+        oracle.assert_equivalent(result, case.oracle_rows(),
+                                 label="poisoned-cache")

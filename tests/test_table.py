@@ -81,8 +81,14 @@ class TestOperations:
         assert out.column("v").tolist() == [20, 21]
 
     def test_filter_bad_mask_length(self, small_table):
-        with pytest.raises(TableError, match="mask length"):
+        with pytest.raises(TableError, match=r"mask length 1 != table rows 5"):
             small_table.filter(np.array([True]))
+
+    def test_filter_non_boolean_mask_names_dtype(self, small_table):
+        """The error must name the offending dtype, so a caller holding
+        row indices sees immediately what they passed."""
+        with pytest.raises(TableError, match=r"got dtype int64.*take\(\)"):
+            small_table.filter(np.array([0, 2, 4], dtype=np.int64))
 
     def test_take(self, small_table):
         out = small_table.take(np.array([4, 0]))
