@@ -134,6 +134,8 @@ def _cmd_serve(args) -> int:
             print("valid algorithms: auto, "
                   + ", ".join(valid_algorithm_names()), file=sys.stderr)
             return 2
+    from repro import parallel
+
     warehouse, workload = _demo_warehouse()
     service = QueryService(warehouse, config)
     for item in generate_query_stream(workload, spec):
@@ -141,8 +143,16 @@ def _cmd_serve(args) -> int:
                        algorithm=args.algorithm, priority=item.priority)
     print(f"replaying {args.queries} queries "
           f"({args.templates} templates, {args.tenants} tenants, "
-          f"{args.slots} admission slots)\n")
-    report = service.drain()
+          f"{args.slots} admission slots, "
+          f"{args.backend} execution backend)\n")
+    previous_backend = parallel.set_execution_backend(
+        args.backend, workers=args.pool_workers)
+    try:
+        report = service.drain()
+    finally:
+        parallel.set_execution_backend(previous_backend)
+        if args.backend == "process":
+            parallel.shutdown_backend()
     print(report.render())
     return 0
 
@@ -308,6 +318,15 @@ def main(argv=None) -> int:
                               help="simulated seconds between arrivals")
     serve_parser.add_argument("--algorithm", default="auto")
     serve_parser.add_argument("--seed", type=int, default=11)
+    serve_parser.add_argument("--backend", default="sequential",
+                              choices=["sequential", "process"],
+                              help="execution backend for query "
+                                   "execution (process = real "
+                                   "multiprocessing pool)")
+    serve_parser.add_argument("--pool-workers", type=int, default=None,
+                              help="process-pool size for "
+                                   "--backend process (default: host "
+                                   "core count)")
 
     chaos_parser = subparsers.add_parser(
         "chaos", help="run the workload under an injected fault plan and "

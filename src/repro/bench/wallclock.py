@@ -6,7 +6,7 @@ measures the one thing the time plane cannot: how fast the data plane
 itself runs on the host machine, with and without the kernels of
 :mod:`repro.kernels`.
 
-Two tiers:
+Three tiers:
 
 * **micro** — each kernel against its naive reference implementation on
   identical inputs (single-pass partitioning vs. one boolean filter per
@@ -18,7 +18,11 @@ Two tiers:
   30 simulated workers, with the kernel layer globally disabled
   (``set_kernels_enabled(False)`` routes every call site through the
   naive references) and then enabled, on the same warehouse.  The two
-  runs are verified row-identical before being timed.
+  runs are verified row-identical before being timed;
+* **backend** — the same workload on the sequential backend vs. the
+  real multiprocessing pool of :mod:`repro.parallel` at several pool
+  sizes, oracle-verified before timing.  Speedups here depend on host
+  core count (recorded as ``cpu_count`` in the payload).
 
 Results are emitted as JSON (``BENCH_wallclock.json``); ``--check``
 compares *speedup ratios* against a checked-in baseline, so the gate is
@@ -55,6 +59,10 @@ from repro.kernels.reference import (
 E2E_ALGORITHMS = (
     "db", "db(BF)", "broadcast", "repartition", "repartition(BF)", "zigzag",
 )
+
+#: Backend-tier coverage: the algorithms whose hot stages (scan,
+#: shuffle, local join) the process pool parallelises end to end.
+BACKEND_ALGORITHMS = ("repartition", "repartition(BF)", "zigzag")
 
 
 def _time_pair(naive_fn: Callable[[], object],
@@ -296,10 +304,104 @@ def run_end_to_end(repeats: int = 2, scale: float = 1 / 25_000,
 
 
 # ----------------------------------------------------------------------
+# Execution-backend tier
+# ----------------------------------------------------------------------
+def run_backend_tier(repeats: int = 2, scale: float = 1 / 25_000,
+                     algorithms=BACKEND_ALGORITHMS,
+                     pool_sizes: Optional[List[int]] = None
+                     ) -> Dict[str, object]:
+    """Whole-algorithm wall clock, sequential vs. the process pool.
+
+    For each algorithm the sequential backend and the process backend at
+    every pool size are first verified row-identical against the
+    single-node oracle, then timed best-of-N.  A speedup here is real
+    concurrency (the :mod:`repro.parallel` pool), not a simulated
+    number — which also means it only materialises on multi-core hosts;
+    ``cpu_count`` is recorded so a 1-core CI reading is not mistaken
+    for a regression.
+    """
+    import os
+
+    from repro import algorithm_by_name, parallel
+    from repro.testkit import oracle
+    from repro.workload import build_paper_query
+
+    cpu_count = os.cpu_count() or 1
+    if pool_sizes is None:
+        pool_sizes = sorted({1, 4, parallel.default_pool_workers()})
+    warehouse, workload = _build_warehouse(scale)
+    query = build_paper_query(workload)
+    expected = oracle.oracle_execute(
+        workload.t_table, workload.l_table, query
+    )
+    section: Dict[str, object] = {
+        "cpu_count": cpu_count,
+        "pool_sizes": list(pool_sizes),
+        "algorithms": {},
+    }
+    try:
+        for name in algorithms:
+            algorithm = algorithm_by_name(name)
+
+            def run_on(backend: str, workers: Optional[int] = None):
+                previous = parallel.set_execution_backend(
+                    backend, workers=workers)
+                try:
+                    return algorithm.run(warehouse, query)
+                finally:
+                    parallel.set_execution_backend(previous)
+
+            modes: List[Tuple[str, Callable[[], object]]] = [
+                ("sequential", lambda: run_on("sequential"))
+            ]
+            for size in pool_sizes:
+                modes.append((
+                    f"process@{size}",
+                    lambda size=size: run_on("process", workers=size),
+                ))
+            best: Dict[str, float] = {}
+            for mode, run in modes:
+                # The verification run doubles as the warm-up (for the
+                # process modes it also forks the pool, so pool start-up
+                # never pollutes the timings).
+                diff = oracle.compare_tables(
+                    run().result, expected, label=f"{name} ({mode})"
+                )
+                if diff is not None:
+                    raise AssertionError(diff)
+                best[mode] = float("inf")
+                for _ in range(max(1, repeats)):
+                    start = time.perf_counter()
+                    run()
+                    best[mode] = min(
+                        best[mode], time.perf_counter() - start)
+            sequential = best["sequential"]
+            entry: Dict[str, object] = {
+                "sequential_seconds": round(sequential, 6),
+                "identical": True,
+                "result_rows": expected.num_rows,
+                "process": {},
+            }
+            for size in pool_sizes:
+                seconds = best[f"process@{size}"]
+                entry["process"][str(size)] = {
+                    "seconds": round(seconds, 6),
+                    "speedup": round(sequential / max(seconds, 1e-12), 2),
+                }
+            section["algorithms"][name] = entry
+    finally:
+        parallel.shutdown_backend()
+    section["leaked_segments"] = parallel.leaked_segments()
+    return section
+
+
+# ----------------------------------------------------------------------
 # Harness
 # ----------------------------------------------------------------------
 def run_wallclock(quick: bool = False, repeats: Optional[int] = None,
-                  skip_e2e: bool = False) -> Dict[str, object]:
+                  skip_e2e: bool = False, skip_parallel: bool = False,
+                  pool_sizes: Optional[List[int]] = None
+                  ) -> Dict[str, object]:
     """The full benchmark payload."""
     from repro import default_config
 
@@ -323,6 +425,10 @@ def run_wallclock(quick: bool = False, repeats: Optional[int] = None,
     if not skip_e2e:
         payload["end_to_end"] = run_end_to_end(
             repeats=max(1, repeats - 1), scale=e2e_scale)
+    if not skip_parallel:
+        payload["backend"] = run_backend_tier(
+            repeats=max(1, repeats - 1) if quick else max(2, repeats - 1),
+            scale=e2e_scale, pool_sizes=pool_sizes)
     return payload
 
 
@@ -379,6 +485,27 @@ def render(payload: Dict[str, object]) -> str:
                 f"{entry['kernel_seconds'] * 1e3:9.2f}ms   "
                 f"{entry['speedup']:6.2f}x"
             )
+    if "backend" in payload:
+        backend = payload["backend"]
+        lines += [
+            "",
+            f"execution backends (sequential -> process pool, "
+            f"{backend['cpu_count']} host core(s)):",
+        ]
+        for name, entry in backend["algorithms"].items():
+            parts = [f"  {name:<18s} "
+                     f"{entry['sequential_seconds'] * 1e3:9.2f}ms seq"]
+            for size, timing in entry["process"].items():
+                parts.append(
+                    f" | {size}w {timing['seconds'] * 1e3:9.2f}ms "
+                    f"{timing['speedup']:5.2f}x"
+                )
+            lines.append("".join(parts))
+        if backend.get("leaked_segments"):
+            lines.append(
+                f"  WARNING: leaked shm segments: "
+                f"{backend['leaked_segments']}"
+            )
     return "\n".join(lines)
 
 
@@ -391,6 +518,16 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
                         help="best-of repeats (default: 3, quick: 1)")
     parser.add_argument("--skip-e2e", action="store_true",
                         help="micro kernels only")
+    parser.add_argument("--skip-parallel", action="store_true",
+                        help="skip the execution-backend tier")
+    parser.add_argument("--pool-workers", type=int, nargs="+",
+                        default=None,
+                        help="process-pool sizes for the backend tier "
+                             "(default: 1, 4 and the host core count)")
+    parser.add_argument("--backend", default=None,
+                        choices=["sequential", "process"],
+                        help="global execution backend while the "
+                             "benchmarks run (default: leave unchanged)")
     parser.add_argument(
         "--check", metavar="BASELINE",
         help="compare speedups against a baseline JSON; exit 1 on a "
@@ -402,8 +539,21 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
 
 def run_from_args(args) -> int:
     """Execute the harness for parsed ``args``; returns an exit code."""
-    payload = run_wallclock(
-        quick=args.quick, repeats=args.repeats, skip_e2e=args.skip_e2e)
+    from repro import parallel
+
+    previous_backend = None
+    if getattr(args, "backend", None):
+        previous_backend = parallel.set_execution_backend(args.backend)
+    try:
+        payload = run_wallclock(
+            quick=args.quick, repeats=args.repeats,
+            skip_e2e=args.skip_e2e,
+            skip_parallel=getattr(args, "skip_parallel", False),
+            pool_sizes=getattr(args, "pool_workers", None),
+        )
+    finally:
+        if previous_backend is not None:
+            parallel.set_execution_backend(previous_backend)
     print(render(payload))
     if args.out:
         out = pathlib.Path(args.out)

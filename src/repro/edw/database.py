@@ -227,8 +227,23 @@ class ParallelDatabase:
         projection: Sequence[str],
     ) -> Tuple[List[Table], List[WorkerAccessStats]]:
         """Apply local predicates + projection on every worker."""
-        parts: List[Table] = []
-        stats: List[WorkerAccessStats] = []
+        parts = self._filter_project_parallel(
+            table_name, predicate, projection
+        )
+        if parts is not None:
+            stats = [
+                WorkerAccessStats(
+                    rows_scanned=worker.partition(table_name).num_rows,
+                    bytes_scanned=float(
+                        worker.partition(table_name).total_bytes()
+                    ),
+                    rows_out=part.num_rows,
+                )
+                for worker, part in zip(self.workers, parts)
+            ]
+            return parts, stats
+        parts = []
+        stats = []
         for worker in self.workers:
             part, worker_stats = worker.filter_project(
                 table_name, predicate, projection
@@ -236,6 +251,26 @@ class ParallelDatabase:
             parts.append(part)
             stats.append(worker_stats)
         return parts, stats
+
+    def _filter_project_parallel(
+        self, table_name: str, predicate: Predicate,
+        projection: Sequence[str],
+    ) -> Optional[List[Table]]:
+        """The scan on the process pool, or ``None`` to run sequential."""
+        from repro import parallel
+
+        if not parallel.parallel_enabled():
+            return None
+        self.table_meta(table_name)
+        from repro.parallel.scan import parallel_db_filter
+
+        try:
+            return parallel_db_filter(
+                self.workers, table_name, predicate, projection,
+                parallel.get_backend(parallel.pool_workers()),
+            )
+        except parallel.ParallelUnsupported:
+            return None
 
     def build_global_bloom(
         self,

@@ -82,6 +82,11 @@ class Jen:
         ]
         self._scan_depth = 0
         self._injector: Optional[FaultInjector] = None
+        #: Shuffle matrix produced by a fused parallel scan, keyed by
+        #: the identities of the wire tables it partitioned; consumed
+        #: by the next :meth:`shuffle_by_key` over those same tables.
+        self._shuffle_stash: Optional[Tuple[List[int], str,
+                                            List[List[Table]]]] = None
         #: Optional hook ``(worker_slot, build_keys) -> JoinBuildIndex``
         #: consulted by :meth:`join_and_aggregate` for each worker's
         #: build side.  The service plane installs a caching provider
@@ -215,12 +220,68 @@ class Jen:
         meta = self.coordinator.table_meta(table_name)
         self._scan_depth += 1
         try:
+            if injector is None:
+                # Deterministic fault replay needs the sequential work
+                # queue, so the process backend only handles fault-free
+                # scans.
+                result = self._try_parallel_scan(
+                    meta, request, db_bloom, build_local_blooms,
+                    bloom_seed,
+                )
+                if result is not None:
+                    return result
             return self._run_scan_queue(
                 meta, request, db_bloom, build_local_blooms, bloom_seed,
                 injector,
             )
         finally:
             self._scan_depth -= 1
+
+    def _try_parallel_scan(
+        self,
+        meta: HdfsTableMeta,
+        request: ScanRequest,
+        db_bloom: Optional[BloomFilter],
+        build_local_blooms: bool,
+        bloom_seed: int,
+    ) -> Optional[DistributedScanResult]:
+        """The scan on the process-pool backend, or ``None`` to fall
+        back (backend not selected, or the request cannot cross the
+        process boundary)."""
+        from repro import parallel
+
+        if not parallel.parallel_enabled():
+            return None
+        from repro.parallel.scan import parallel_distributed_scan
+
+        backend = parallel.get_backend(parallel.pool_workers())
+        try:
+            outcome = parallel_distributed_scan(
+                filesystem=self.filesystem,
+                workers=self.workers,
+                assignment=self.coordinator.plan_scan(meta.name),
+                meta=meta,
+                request=request,
+                db_bloom=db_bloom,
+                build_local_blooms=build_local_blooms,
+                bloom_bits=self.config.bloom_bits(),
+                bloom_hashes=self.config.bloom.num_hashes,
+                bloom_seed=bloom_seed,
+                backend=backend,
+            )
+        except parallel.ParallelUnsupported:
+            return None
+        if outcome.outgoing is not None:
+            self._shuffle_stash = (
+                [id(wire) for wire in outcome.wire_tables],
+                outcome.shuffle_key,
+                outcome.outgoing,
+            )
+        return DistributedScanResult(
+            wire_tables=outcome.wire_tables,
+            stats=outcome.stats,
+            local_blooms=outcome.local_blooms,
+        )
 
     def _run_scan_queue(
         self,
@@ -374,11 +435,33 @@ class Jen:
             injector.check_abort("shuffle")
             if len(wire_tables) == len(self.workers):
                 wire_tables = self._shuffle_crashes(wire_tables, injector)
+        stashed = self._consume_shuffle_stash(wire_tables, key, injector)
+        if stashed is not None:
+            return shuffle(stashed, faults=None)
         outgoing = [
             JenWorker.partition_for_shuffle(wire, key, self.num_workers)
             for wire in wire_tables
         ]
         return shuffle(outgoing, faults=injector)
+
+    def _consume_shuffle_stash(self, wire_tables: List[Table], key: str,
+                               injector) -> Optional[List[List[Table]]]:
+        """The overlapped-shuffle matrix for exactly these wire tables.
+
+        A fused parallel scan already partitioned every morsel by the
+        agreed hash; if the caller is now shuffling those same tables
+        on that same key, the partitioning work is done.  Any mismatch
+        (pruned tables, different key, armed faults) simply misses and
+        the sequential partitioning below runs.
+        """
+        stash = self._shuffle_stash
+        if stash is None or injector is not None:
+            return None
+        wire_ids, stash_key, outgoing = stash
+        if stash_key != key or wire_ids != [id(w) for w in wire_tables]:
+            return None
+        self._shuffle_stash = None
+        return outgoing
 
     def _shuffle_crashes(self, wire_tables: List[Table],
                          injector: FaultInjector) -> List[Table]:
@@ -450,6 +533,22 @@ class Jen:
                     pressure if memory_budget_rows <= 0
                     else min(memory_budget_rows, pressure)
                 )
+        if injector is None and self.build_index_provider is None:
+            # The process backend runs fault-free joins without a
+            # cross-query index provider (the cache lives coordinator-
+            # side and cannot be shared with pool workers).
+            from repro import parallel
+
+            if parallel.parallel_enabled():
+                from repro.parallel.join import parallel_join_and_aggregate
+
+                try:
+                    return parallel_join_and_aggregate(
+                        l_parts, t_parts, query, memory_budget_rows,
+                        parallel.get_backend(parallel.pool_workers()),
+                    )
+                except parallel.ParallelUnsupported:
+                    pass
         from repro.jen.spill import fragment_tables, plan_spill
         from repro.kernels import kernels_enabled
         from repro.kernels.joinindex import JoinBuildIndex

@@ -146,23 +146,12 @@ class JenWorker:
             stats.rows_scanned += rows.num_rows
             stats.stored_bytes_scanned += rows.num_rows * scan_row_bytes
 
-            mask = request.predicate.evaluate(rows)
-            filtered = rows.filter(mask).project(list(request.projection))
-            stats.rows_after_predicates += filtered.num_rows
-            filtered = request.apply_derivations(filtered)
-            if db_bloom is not None and request.join_key is not None:
-                keys = filtered.column(request.join_key)
-                if local_bloom is not None:
-                    # Zigzag two-way step, fused: probe BF_DB and feed
-                    # the survivors into BF_H in one pass over the keys.
-                    keep = probe_and_insert(keys, db_bloom, local_bloom)
-                else:
-                    keep = db_bloom.contains(keys)
-                filtered = filtered.filter(keep)
-            elif local_bloom is not None and request.join_key is not None:
-                local_bloom.add(filtered.column(request.join_key))
-            stats.rows_after_bloom += filtered.num_rows
-            pieces.append(filtered.project(list(request.wire_columns)))
+            wire, after_predicates, after_bloom = self.process_rows(
+                rows, request, db_bloom=db_bloom, local_bloom=local_bloom
+            )
+            stats.rows_after_predicates += after_predicates
+            stats.rows_after_bloom += after_bloom
+            pieces.append(wire)
 
         if pieces:
             wire = Table.concat(pieces)
@@ -175,6 +164,39 @@ class JenWorker:
             empty = request.apply_derivations(empty)
             wire = empty.project(list(request.wire_columns))
         return wire, stats
+
+    @staticmethod
+    def process_rows(
+        rows: Table,
+        request: ScanRequest,
+        db_bloom: Optional[BloomFilter] = None,
+        local_bloom: Optional[BloomFilter] = None,
+    ) -> Tuple[Table, int, int]:
+        """The per-batch process pipeline: one batch of parsed rows in,
+        one wire-ready table out.
+
+        Applied identically to a worker's whole block (sequential scan
+        above) and to a single morsel of it (the process-pool backend's
+        :mod:`repro.parallel.tasks`), so the two backends cannot drift.
+        Returns ``(wire, rows_after_predicates, rows_after_bloom)``.
+        """
+        mask = request.predicate.evaluate(rows)
+        filtered = rows.filter(mask).project(list(request.projection))
+        after_predicates = filtered.num_rows
+        filtered = request.apply_derivations(filtered)
+        if db_bloom is not None and request.join_key is not None:
+            keys = filtered.column(request.join_key)
+            if local_bloom is not None:
+                # Zigzag two-way step, fused: probe BF_DB and feed
+                # the survivors into BF_H in one pass over the keys.
+                keep = probe_and_insert(keys, db_bloom, local_bloom)
+            else:
+                keep = db_bloom.contains(keys)
+            filtered = filtered.filter(keep)
+        elif local_bloom is not None and request.join_key is not None:
+            local_bloom.add(filtered.column(request.join_key))
+        wire = filtered.project(list(request.wire_columns))
+        return wire, after_predicates, filtered.num_rows
 
     @staticmethod
     def partition_for_shuffle(table: Table, key: str,

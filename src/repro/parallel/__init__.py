@@ -1,0 +1,124 @@
+"""Opt-in multicore execution backend (real processes, shared memory).
+
+Every engine in this reproduction *models* the paper's parallelism on a
+simulated clock but executes it sequentially in one Python process.
+This package adds a second execution backend that runs the per-worker
+hot stages — HDFS scan + predicate/Bloom filtering, hash partitioning,
+local join build/probe, partial aggregation — genuinely in parallel on
+a ``multiprocessing`` pool:
+
+* :mod:`repro.parallel.shm` — zero-copy table transport: columns live
+  in ``multiprocessing.shared_memory`` segments, only schema + segment
+  names are pickled, and a guarded registry unlinks every segment even
+  when a worker crashes mid-transfer.
+* :mod:`repro.parallel.pool` — the persistent process pool, its export
+  cache, and crash containment.
+* :mod:`repro.parallel.tasks` — the picklable task payloads and the
+  worker-side bodies (which reuse the exact engine pipeline code).
+* :mod:`repro.parallel.scan` — morsel-driven scans with the shuffle
+  partitioning fused into each morsel (the paper's Fig. 7 overlap,
+  executed instead of modelled).
+* :mod:`repro.parallel.join` — per-worker local joins + partial
+  aggregation fanned out over the pool.
+
+``set_execution_backend("process")`` flips every routed engine call
+site, mirroring :func:`repro.kernels.set_kernels_enabled`.  Sequential
+stays the default: simulated-time traces, fault injection and the
+testkit's deterministic replay all assume single-process execution, so
+the engines silently fall back to the sequential path whenever a fault
+plan is armed, a cross-query join-index provider is installed, or a
+payload cannot be pickled (e.g. SQL-registered lambda UDFs).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ReproError
+
+VALID_BACKENDS = ("sequential", "process")
+
+_BACKEND_NAME = "sequential"
+_POOL_WORKERS: Optional[int] = None
+
+
+class ParallelUnsupported(Exception):
+    """Internal signal: this operation cannot run on the process pool.
+
+    Raised by the parallel drivers when a payload is unpicklable or a
+    request shape falls outside the parallel plan; engines catch it and
+    fall back to the sequential path.  Never surfaces to callers.
+    """
+
+
+def execution_backend() -> str:
+    """The active execution backend name."""
+    return _BACKEND_NAME
+
+
+def parallel_enabled() -> bool:
+    """True when the process-pool backend is selected."""
+    return _BACKEND_NAME == "process"
+
+
+def pool_workers() -> Optional[int]:
+    """Configured pool size (``None`` = one per available core)."""
+    return _POOL_WORKERS
+
+
+def set_execution_backend(backend: str,
+                          workers: Optional[int] = None) -> str:
+    """Select the execution backend; returns the previous name.
+
+    ``workers`` sets the process-pool size (ignored for
+    ``"sequential"``); ``None`` keeps the current setting, which
+    defaults to one worker per available core.  The pool itself is
+    created lazily on first parallel call and resized on the next call
+    after a worker-count change.
+    """
+    global _BACKEND_NAME, _POOL_WORKERS
+    if backend not in VALID_BACKENDS:
+        raise ReproError(
+            f"unknown execution backend {backend!r}; "
+            f"valid backends: {', '.join(VALID_BACKENDS)}"
+        )
+    if workers is not None:
+        if workers < 1:
+            raise ReproError(f"pool workers must be >= 1, got {workers}")
+        _POOL_WORKERS = int(workers)
+    previous = _BACKEND_NAME
+    _BACKEND_NAME = backend
+    return previous
+
+
+from repro.parallel.pool import (  # noqa: E402
+    ProcessBackend,
+    default_pool_workers,
+    get_backend,
+    shutdown_backend,
+)
+from repro.parallel.shm import (  # noqa: E402
+    AttachedTable,
+    ShmRegistry,
+    TableHandle,
+    export_table,
+    leaked_segments,
+)
+
+__all__ = [
+    "AttachedTable",
+    "ParallelUnsupported",
+    "ProcessBackend",
+    "ShmRegistry",
+    "TableHandle",
+    "VALID_BACKENDS",
+    "default_pool_workers",
+    "execution_backend",
+    "export_table",
+    "get_backend",
+    "leaked_segments",
+    "parallel_enabled",
+    "pool_workers",
+    "set_execution_backend",
+    "shutdown_backend",
+]

@@ -1,0 +1,130 @@
+"""Parallel local joins, partial aggregation, and the parallel oracle.
+
+:func:`parallel_join_and_aggregate` fans the engine's per-worker local
+join + partial-aggregate loop over the process pool, one task per
+simulated worker slot.  Each slot runs exactly the sequential body
+(spill planning, Grace-hash fragmenting, sorted build index, probe,
+partial aggregate), so accounting and results are identical; only the
+slots execute concurrently.
+
+:func:`parallel_reference_aggregate` is the same idea applied to the
+single-node reference executor: both sides are hash-partitioned by the
+join key, the partition joins + partial aggregates run on the pool, and
+the partials merge — semantically identical to joining whole tables
+because the equi-join only matches rows within a hash partition and the
+aggregate layer is built to merge partials.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.edw.partitioner import agreed_hash_partition
+from repro.jen.exchange import final_aggregate
+from repro.kernels.partition import partition_table
+from repro.parallel.pool import ProcessBackend
+from repro.parallel.shm import AttachedTable, TableHandle
+from repro.parallel.tasks import JoinSlotTask, run_join_slot
+from repro.relational.table import Table
+from repro.query.plan import merge_partials, partial_tables_nonempty
+from repro.query.query import HybridQuery
+
+
+def _run_slots(
+    pairs: List[Tuple[Table, Table]],
+    query: HybridQuery,
+    memory_budget_rows: float,
+    backend: ProcessBackend,
+) -> List[Tuple[Table, "JoinSlotResultNumbers"]]:
+    """Fan (build, probe) pairs over the pool; results in slot order."""
+    from repro.parallel.scan import ensure_picklable, task_env
+
+    ensure_picklable(query, "query plan")
+    env = task_env(backend)
+    transient: List[TableHandle] = []
+    try:
+        tasks = []
+        for slot, (l_part, t_part) in enumerate(pairs):
+            l_handle = backend.export_transient(l_part)
+            transient.append(l_handle)
+            t_handle = backend.export_transient(t_part)
+            transient.append(t_handle)
+            tasks.append(JoinSlotTask(
+                tag=slot,
+                l_part=l_handle,
+                t_part=t_handle,
+                query=query,
+                memory_budget_rows=memory_budget_rows,
+                env=env,
+            ))
+        results: List[Optional[Tuple[Table, object]]] = [None] * len(tasks)
+        for result in backend.run_unordered(run_join_slot, tasks):
+            with AttachedTable(result.handle) as attached:
+                partial = attached.materialize()
+            backend.consume(result.handle)
+            results[result.tag] = (partial, result)
+        return results
+    finally:
+        for handle in transient:
+            backend.release(handle)
+
+
+def parallel_join_and_aggregate(
+    l_parts: List[Table],
+    t_parts: List[Table],
+    query: HybridQuery,
+    memory_budget_rows: float,
+    backend: ProcessBackend,
+) -> Tuple[Table, "LocalJoinStats"]:
+    """The engine's join stage, one pool task per worker slot.
+
+    Raises :class:`~repro.parallel.ParallelUnsupported` when the query
+    cannot cross the process boundary; the engine falls back.
+    """
+    from repro.jen.engine import LocalJoinStats
+
+    slot_results = _run_slots(
+        list(zip(l_parts, t_parts)), query, memory_budget_rows, backend
+    )
+    stats = LocalJoinStats()
+    partials: List[Table] = []
+    for partial, numbers in slot_results:
+        stats.build_tuples += numbers.build_tuples
+        stats.probe_tuples += numbers.probe_tuples
+        stats.join_output_tuples += numbers.join_output_tuples
+        stats.spilled_tuples += numbers.spilled_tuples
+        stats.max_fragments = max(stats.max_fragments,
+                                  numbers.num_fragments)
+        partials.append(partial)
+    result = final_aggregate(partials, query)
+    stats.result_rows = result.num_rows
+    return result, stats
+
+
+def parallel_reference_aggregate(
+    t_table: Table,
+    l_table: Table,
+    query: HybridQuery,
+    backend: ProcessBackend,
+) -> Table:
+    """Morsel-parallel join + partial aggregation for the reference
+    executor: hash-partition both (already filtered/projected) sides,
+    join each partition pair on the pool, merge the partials."""
+    parts = backend.workers
+    if parts <= 1:
+        from repro.parallel import ParallelUnsupported
+
+        raise ParallelUnsupported("single-worker pool")
+    l_assignments = agreed_hash_partition(
+        l_table.column(query.hdfs_join_key), parts
+    )
+    l_parts = partition_table(l_table, l_assignments, parts)
+    t_assignments = agreed_hash_partition(
+        t_table.column(query.db_join_key), parts
+    )
+    t_parts = partition_table(t_table, t_assignments, parts)
+    slot_results = _run_slots(
+        list(zip(l_parts, t_parts)), query, 0.0, backend
+    )
+    partials = [partial for partial, _numbers in slot_results]
+    return merge_partials(partial_tables_nonempty(partials), query)

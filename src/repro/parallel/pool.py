@@ -1,0 +1,197 @@
+"""The persistent process pool behind the ``"process"`` backend.
+
+One :class:`ProcessBackend` per coordinator process, created lazily on
+first use and shared by every engine (JEN scans, local joins, database
+partition scans).  It bundles three things:
+
+* a :class:`concurrent.futures.ProcessPoolExecutor` (fork context where
+  available, so workers share the parent's loaded code pages),
+* the :class:`~repro.parallel.shm.ShmRegistry` owning every segment of
+  the session, and
+* an export cache: immutable engine tables (HDFS block replicas,
+  database partitions) are packed into shared memory once and reused by
+  every subsequent query, so steady-state queries ship only handles.
+
+Worker death is contained: a :class:`BrokenProcessPool` is translated
+into :class:`~repro.errors.ParallelExecutionError` *after* the broken
+executor is torn down, the export cache dropped and every session
+segment reclaimed (including orphans the dead worker never reported).
+The next parallel call starts a fresh pool.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, Iterable, Iterator, Optional, Tuple
+
+import multiprocessing
+
+from repro.errors import ParallelExecutionError
+from repro.parallel.shm import ShmRegistry, TableHandle, export_table
+from repro.relational.table import Table
+
+
+def default_pool_workers() -> int:
+    """Pool size when the user did not pick one: every available core."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+class ProcessBackend:
+    """Executor + segment registry + export cache for one session."""
+
+    def __init__(self, workers: Optional[int] = None):
+        self.workers = workers or default_pool_workers()
+        self.registry = ShmRegistry()
+        self._executor: Optional[ProcessPoolExecutor] = None
+        #: cache key -> (id of the exported table, handle).  The id
+        #: detects staleness: engine tables are immutable, so a new
+        #: object under the same key means the data changed.
+        self._export_cache: Dict[object, Tuple[int, TableHandle]] = {}
+
+    # ------------------------------------------------------------------
+    def executor(self) -> ProcessPoolExecutor:
+        """The live executor, creating it on first use."""
+        if self._executor is None:
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX
+                context = multiprocessing.get_context()
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=context
+            )
+        return self._executor
+
+    # ------------------------------------------------------------------
+    def export_cached(self, key: object, table: Table) -> TableHandle:
+        """Shared-memory handle for an immutable engine table.
+
+        The first call per (key, table object) pays the pack; later
+        queries over the same loaded table reuse the segment.
+        """
+        cached = self._export_cache.get(key)
+        if cached is not None and cached[0] == id(table):
+            return cached[1]
+        if cached is not None:
+            self.registry.release(cached[1].segment)
+        handle = export_table(table, self.registry)
+        self._export_cache[key] = (id(table), handle)
+        return handle
+
+    def export_transient(self, table: Table) -> TableHandle:
+        """Uncached export; caller releases via :meth:`release`."""
+        return export_table(table, self.registry)
+
+    def release(self, handle: Optional[TableHandle]) -> None:
+        """Unlink a transient handle's segment."""
+        if handle is not None:
+            self.registry.release(handle.segment)
+
+    def adopt_result(self, handle: Optional[TableHandle]) -> None:
+        """Take ownership of a worker-created result segment."""
+        if handle is not None and handle.segment is not None:
+            self.registry.adopt(handle.segment)
+
+    def consume(self, handle: Optional[TableHandle]) -> None:
+        """Adopt and immediately unlink a worker-created result segment.
+
+        The receive pattern: the coordinator attaches the result,
+        copies it out (:meth:`AttachedTable.materialize`), then calls
+        this — inputs travel zero-copy, results pay one ``memcpy`` and
+        their segments never outlive the receive.
+        """
+        if handle is not None and handle.segment is not None:
+            self.registry.adopt(handle.segment)
+            self.registry.release(handle.segment)
+
+    # ------------------------------------------------------------------
+    def run_unordered(self, fn: Callable, payloads: Iterable
+                      ) -> Iterator[object]:
+        """Yield ``fn(payload)`` results as they complete (any order).
+
+        This is the morsel work queue: every payload is an independent
+        task, idle pool workers pull the next pending one, and the
+        coordinator consumes results the moment they land — which is
+        what lets the shuffle of finished morsels overlap the scan of
+        the rest.  A dead worker aborts the batch via
+        :class:`ParallelExecutionError` after cleanup.
+        """
+        executor = self.executor()
+        futures = {executor.submit(fn, payload) for payload in payloads}
+        try:
+            while futures:
+                done, futures = wait(futures, return_when=FIRST_COMPLETED)
+                for future in done:
+                    yield future.result()
+        except BrokenProcessPool:
+            for future in futures:
+                future.cancel()
+            self._abort("a pool worker died mid-task")
+        except Exception:
+            for future in futures:
+                future.cancel()
+            raise
+
+    def run_all(self, fn: Callable, payloads: Iterable) -> list:
+        """All results, in payload order (barrier variant)."""
+        executor = self.executor()
+        futures = [executor.submit(fn, payload) for payload in payloads]
+        try:
+            return [future.result() for future in futures]
+        except BrokenProcessPool:
+            for future in futures:
+                future.cancel()
+            self._abort("a pool worker died mid-task")
+
+    def _abort(self, reason: str) -> None:
+        """Tear down after a worker crash, then raise the typed error."""
+        self.shutdown()
+        raise ParallelExecutionError(
+            f"process-pool backend failed: {reason}; all shared-memory "
+            "segments were reclaimed — retry the query (the next parallel "
+            "call starts a fresh pool) or switch to the sequential backend"
+        )
+
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Stop the executor and unlink every session segment."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+        self._export_cache.clear()
+        self.registry.close_all()
+
+
+_BACKEND: Optional[ProcessBackend] = None
+
+
+def get_backend(workers: Optional[int] = None) -> ProcessBackend:
+    """The session's shared :class:`ProcessBackend` (created lazily)."""
+    global _BACKEND
+    if _BACKEND is None:
+        _BACKEND = ProcessBackend(workers=workers)
+    elif workers is not None and workers != _BACKEND.workers:
+        _BACKEND.shutdown()
+        _BACKEND = ProcessBackend(workers=workers)
+    return _BACKEND
+
+
+def shutdown_backend() -> None:
+    """Tear down the shared backend (tests, CLI exit, resizes)."""
+    global _BACKEND
+    if _BACKEND is not None:
+        _BACKEND.shutdown()
+        _BACKEND = None
+
+
+@atexit.register
+def _shutdown_at_exit() -> None:  # pragma: no cover - interpreter exit
+    try:
+        shutdown_backend()
+    except Exception:
+        pass

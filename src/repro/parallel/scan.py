@@ -1,0 +1,290 @@
+"""Morsel-driven parallel scans with overlapped shuffle partitioning.
+
+The sequential engine scans each simulated worker's blocks in one pass.
+Here every block is cut into fixed-row **morsels** (Leis et al.'s
+morsel-driven parallelism) that form one shared work queue over the
+process pool: an idle pool worker always pulls the next pending morsel,
+so a straggling morsel cannot idle the other cores.
+
+The shuffle overlaps the scan: when the scan feeds a hash shuffle, each
+morsel task also partitions its filtered rows by the agreed hash
+(destination-sorted rows + per-destination counts come back in one
+segment), and the coordinator slices finished morsels into
+per-destination buffers while other morsels are still being scanned —
+the paper's Fig. 7 read/process/send overlap, executed rather than
+modelled.  The resulting outgoing matrix is stashed by the engine and
+consumed by the next ``shuffle_by_key`` over the same wire tables, so
+shuffle accounting and invariant checks still run unchanged.
+
+Determinism: morsel results are keyed by ``(worker slot, block seq,
+morsel seq)`` and assembled in that order, so per-destination row order
+is bit-identical across pool sizes and runs.  Bloom-filter builds are
+applied coordinator-side in the same order (bitwise-OR inserts commute,
+so the filters are bit-identical to sequential anyway).
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.bloom import BloomFilter
+from repro.edw.partitioner import agreed_hash_partition
+from repro.hdfs.filesystem import HdfsFileSystem, HdfsTableMeta
+from repro.jen.worker import JenWorker, ScanRequest, ScanStats
+from repro.parallel import ParallelUnsupported
+from repro.parallel.pool import ProcessBackend
+from repro.parallel.shm import AttachedTable
+from repro.parallel.tasks import (
+    DbFilterTask,
+    ScanMorselTask,
+    TaskEnv,
+    export_bloom,
+    run_db_filter,
+    run_scan_morsel,
+)
+from repro.relational.expressions import Predicate
+from repro.relational.table import Table
+from repro.testkit import invariants
+
+#: Rows per morsel.  Small enough that a selective scan yields many
+#: times more morsels than pool workers (work stealing has slack),
+#: large enough that per-task pickling overhead stays negligible.
+DEFAULT_MORSEL_ROWS = 8192
+
+
+def ensure_picklable(payload, what: str) -> None:
+    """Raise :class:`ParallelUnsupported` if ``payload`` cannot cross.
+
+    SQL-registered scalar UDFs are closures, which cannot be pickled to
+    a pool worker; such queries silently stay on the sequential path.
+    """
+    try:
+        pickle.dumps(payload)
+    except Exception as exc:
+        raise ParallelUnsupported(
+            f"{what} is not picklable ({exc!r})"
+        ) from None
+
+
+def morsel_ranges(num_rows: int,
+                  morsel_rows: int) -> List[Tuple[int, int]]:
+    """Fixed-row ``[start, stop)`` cuts covering ``num_rows``."""
+    return [
+        (start, min(start + morsel_rows, num_rows))
+        for start in range(0, num_rows, morsel_rows)
+    ]
+
+
+def task_env(backend: ProcessBackend) -> TaskEnv:
+    """The coordinator settings every task of this batch replays."""
+    from repro.kernels import kernels_enabled
+
+    return TaskEnv(kernels=kernels_enabled(),
+                   prefix=backend.registry.prefix)
+
+
+@dataclass
+class ParallelScanOutcome:
+    """What a parallel distributed scan hands back to the engine."""
+
+    wire_tables: List[Table]
+    stats: ScanStats
+    local_blooms: Optional[List[BloomFilter]]
+    #: ``outgoing[sender][destination]`` — the already-partitioned
+    #: shuffle matrix (present when partitioning was fused), for the
+    #: engine to stash until ``shuffle_by_key`` consumes it.
+    outgoing: Optional[List[List[Table]]]
+    #: The shuffle key the fused partitioning used.
+    shuffle_key: Optional[str]
+
+
+def parallel_distributed_scan(
+    filesystem: HdfsFileSystem,
+    workers: Sequence[JenWorker],
+    assignment,
+    meta: HdfsTableMeta,
+    request: ScanRequest,
+    db_bloom: Optional[BloomFilter],
+    build_local_blooms: bool,
+    bloom_bits: int,
+    bloom_hashes: int,
+    bloom_seed: int,
+    backend: ProcessBackend,
+    morsel_rows: int = DEFAULT_MORSEL_ROWS,
+) -> ParallelScanOutcome:
+    """Run one distributed scan as a morsel queue on the process pool.
+
+    Raises :class:`ParallelUnsupported` when the request cannot cross
+    the process boundary; the engine falls back to the sequential scan.
+    """
+    ensure_picklable(request, "scan request")
+    num_workers = len(workers)
+    # Fuse the shuffle partitioning into the morsels whenever the wire
+    # rows still carry the join key (every repartition/zigzag scan).
+    fuse = (request.join_key is not None
+            and request.join_key in request.wire_columns)
+    if build_local_blooms and not fuse:
+        # The local BF_H build needs the surviving join keys; without
+        # the key on the wire the coordinator cannot reconstruct them.
+        raise ParallelUnsupported(
+            "local Bloom build without the join key on the wire"
+        )
+
+    scan_row_bytes = meta.storage_format().scan_bytes_per_row(
+        meta.schema, list(request.projection)
+    )
+    stats = ScanStats()
+    env = task_env(backend)
+    bloom_handle = None
+    if db_bloom is not None:
+        bloom_handle = export_bloom(db_bloom, backend.registry)
+    try:
+        tasks: List[ScanMorselTask] = []
+        for slot, worker in enumerate(workers):
+            blocks = list(assignment.blocks_for(worker.worker_id))
+            for block_seq, block in enumerate(blocks):
+                local = (
+                    worker.worker_id < len(filesystem.datanodes)
+                    and filesystem.datanodes[worker.worker_id]
+                    .has_replica(block.block_id)
+                )
+                if local:
+                    stats.local_blocks += 1
+                else:
+                    stats.remote_blocks += 1
+                # Export the first replica's rows (replicas are
+                # identical); the segment is cached across queries.
+                rows = filesystem.datanodes[block.replicas[0]] \
+                    .read_block(block)
+                handle = backend.export_cached(
+                    ("block", block.block_id), rows
+                )
+                for morsel_seq, (start, stop) in enumerate(
+                    morsel_ranges(block.num_rows, morsel_rows)
+                ):
+                    tasks.append(ScanMorselTask(
+                        tag=(slot, block_seq, morsel_seq),
+                        block=handle,
+                        row_start=start,
+                        row_stop=stop,
+                        request=request,
+                        db_bloom=bloom_handle,
+                        num_partitions=num_workers if fuse else None,
+                        env=env,
+                    ))
+
+        # tag -> (materialised wire, per-destination slices).  Receive
+        # in completion order: the materialise + partition slicing of
+        # finished morsels overlaps the scanning of the rest.
+        morsels: Dict[Tuple[int, int, int],
+                      Tuple[Table, Optional[List[Table]]]] = {}
+        for result in backend.run_unordered(run_scan_morsel, tasks):
+            with AttachedTable(result.handle) as attached:
+                wire = attached.materialize()
+            backend.consume(result.handle)
+            dest_slices: Optional[List[Table]] = None
+            if result.counts is not None:
+                dest_slices = []
+                offset = 0
+                for count in result.counts:
+                    dest_slices.append(wire.slice(offset, offset + count))
+                    offset += count
+            morsels[result.tag] = (wire, dest_slices)
+            stats.rows_scanned += result.rows_scanned
+            stats.stored_bytes_scanned += (
+                result.rows_scanned * scan_row_bytes
+            )
+            stats.rows_after_predicates += result.rows_after_predicates
+            stats.rows_after_bloom += result.rows_after_bloom
+    finally:
+        if bloom_handle is not None:
+            backend.registry.release(bloom_handle.segment)
+
+    # Deterministic assembly: (block seq, morsel seq) order per slot.
+    blooms = (
+        [BloomFilter(bloom_bits, bloom_hashes, seed=bloom_seed)
+         for _ in workers]
+        if build_local_blooms else None
+    )
+    wire_tables: List[Table] = []
+    outgoing: Optional[List[List[Table]]] = [] if fuse else None
+    empty_wire: Optional[Table] = None
+    for slot, worker in enumerate(workers):
+        ordered = sorted(tag for tag in morsels if tag[0] == slot)
+        if not ordered:
+            # No blocks assigned: the sequential empty-wire pipeline.
+            if empty_wire is None:
+                sample = filesystem.table_blocks(meta.name)[0]
+                empty = filesystem.read_block(sample).slice(0, 0)
+                empty = empty.project(list(request.projection))
+                empty = request.apply_derivations(empty)
+                empty_wire = empty.project(list(request.wire_columns))
+            wire_tables.append(empty_wire)
+            if outgoing is not None:
+                outgoing.append(
+                    [empty_wire.slice(0, 0)] * num_workers
+                )
+            continue
+        wire = Table.concat([morsels[tag][0] for tag in ordered])
+        wire_tables.append(wire)
+        if blooms is not None:
+            blooms[slot].add(wire.column(request.join_key))
+        if outgoing is not None:
+            parts = [
+                Table.concat([
+                    morsels[tag][1][destination] for tag in ordered
+                ])
+                for destination in range(num_workers)
+            ]
+            if invariants.checking_enabled():
+                invariants.check_hash_partition(
+                    wire, request.join_key, parts, num_workers,
+                    agreed_hash_partition,
+                )
+            outgoing.append(parts)
+
+    return ParallelScanOutcome(
+        wire_tables=wire_tables,
+        stats=stats,
+        local_blooms=blooms,
+        outgoing=outgoing,
+        shuffle_key=request.join_key if fuse else None,
+    )
+
+
+def parallel_db_filter(
+    workers,
+    table_name: str,
+    predicate: Predicate,
+    projection: Sequence[str],
+    backend: ProcessBackend,
+) -> List[Table]:
+    """Fan one ``filter_project`` over the pool, one task per partition.
+
+    Returns the per-worker result tables in worker order; the caller
+    (:meth:`repro.edw.database.ParallelDatabase.filter_project`) builds
+    the access stats from the partitions it already holds.
+    """
+    ensure_picklable((predicate, tuple(projection)), "database scan")
+    env = task_env(backend)
+    tasks = []
+    for index, worker in enumerate(workers):
+        partition = worker.partition(table_name)
+        handle = backend.export_cached(
+            ("dbpart", table_name, worker.worker_id), partition
+        )
+        tasks.append(DbFilterTask(
+            tag=index,
+            partition=handle,
+            predicate=predicate,
+            projection=tuple(projection),
+            env=env,
+        ))
+    parts: List[Optional[Table]] = [None] * len(tasks)
+    for result in backend.run_unordered(run_db_filter, tasks):
+        with AttachedTable(result.handle) as attached:
+            parts[result.tag] = attached.materialize()
+        backend.consume(result.handle)
+    return parts

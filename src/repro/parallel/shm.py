@@ -1,0 +1,309 @@
+"""Zero-copy table transport over ``multiprocessing.shared_memory``.
+
+The process-pool backend must move :class:`~repro.relational.table.Table`
+objects between the coordinator and the pool workers without paying a
+pickle of every column.  The codec here packs all numeric column arrays
+of one table into a *single* shared-memory segment; what actually
+crosses the process boundary is a :class:`TableHandle` — schema, row
+count, per-column offsets and the segment name — so a worker attaches
+the segment and wraps numpy views around the same physical pages the
+coordinator wrote.  Dictionary arrays of dict-string columns (small, a
+few dozen distinct strings) ride along inside the pickled handle.
+
+Lifecycle is guarded by :class:`ShmRegistry`: every segment carries a
+session-unique name prefix, the registry records every name it created
+or adopted, and :meth:`ShmRegistry.close_all` unlinks them.  Because
+the prefix encodes the coordinator PID, :meth:`ShmRegistry.sweep` can
+reclaim even segments whose names were lost when a worker process died
+mid-transfer — ``/dev/shm`` ends every run clean, crash or no crash.
+
+Worker-created result segments are unregistered from the inheriting
+process's ``resource_tracker`` (:func:`disown_segment`) so the parent —
+not the dying worker — owns the unlink.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ShmError
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+
+#: Session-unique prefix for every segment this process creates.  The
+#: PID makes post-crash sweeps safe: only our own leftovers match.
+SESSION_PREFIX = f"reproshm{os.getpid()}x{secrets.token_hex(3)}"
+
+#: Where POSIX shared memory appears as files (Linux).  Used only by
+#: the crash sweep; other platforms fall back to tracked-name cleanup.
+_SHM_DIR = "/dev/shm"
+
+
+def disown_segment(segment: shared_memory.SharedMemory) -> None:
+    """Detach ``segment`` from this process's resource tracker.
+
+    A worker that creates a result segment must hand ownership to the
+    coordinator; otherwise the worker's ``resource_tracker`` unlinks
+    the segment when the worker exits, yanking the pages out from
+    under the parent.  Best-effort: tracker internals are stable across
+    CPython 3.8–3.13 but this degrades gracefully if they change.
+    """
+    try:  # pragma: no cover - depends on interpreter internals
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:
+        pass
+
+
+@dataclass(frozen=True)
+class TableHandle:
+    """A picklable description of one shared-memory-resident table.
+
+    ``segment`` is ``None`` for zero-byte tables (no rows, or only
+    zero-width columns) — nothing to share, so nothing is allocated.
+    ``columns`` maps column name to ``(numpy dtype string, byte
+    offset, byte length)`` inside the segment.
+    """
+
+    schema: Schema
+    num_rows: int
+    segment: Optional[str]
+    columns: Tuple[Tuple[str, str, int, int], ...]
+    dictionaries: Dict[str, np.ndarray]
+
+    @property
+    def nbytes(self) -> int:
+        """Total payload bytes inside the segment."""
+        return sum(length for _, _, _, length in self.columns)
+
+
+def export_table(table: Table, registry: "ShmRegistry") -> TableHandle:
+    """Pack ``table``'s columns into one fresh shared-memory segment.
+
+    One ``memcpy`` per column; the returned handle plus the segment are
+    all a worker needs to see the identical table.  The segment is
+    owned (and eventually unlinked) by ``registry``.
+    """
+    layout: List[Tuple[str, str, int, int]] = []
+    offset = 0
+    arrays: List[np.ndarray] = []
+    for name in table.schema.names:
+        array = np.ascontiguousarray(table.column(name))
+        layout.append((name, array.dtype.str, offset, array.nbytes))
+        arrays.append(array)
+        offset += array.nbytes
+    segment_name: Optional[str] = None
+    if offset > 0:
+        segment = registry.create(offset)
+        segment_name = segment.name
+        for (name, _, start, length), array in zip(layout, arrays):
+            if length == 0:
+                continue
+            view = np.ndarray(array.shape, dtype=array.dtype,
+                              buffer=segment.buf, offset=start)
+            view[...] = array
+        registry.detach(segment)
+    dictionaries = {
+        column.name: table.dictionary(column.name)
+        for column in table.schema
+        if column.name in table._dictionaries
+    }
+    return TableHandle(
+        schema=table.schema,
+        num_rows=table.num_rows,
+        segment=segment_name,
+        columns=tuple(layout),
+        dictionaries=dictionaries,
+    )
+
+
+class AttachedTable:
+    """A table view over someone else's shared-memory segment.
+
+    Keeps the :class:`~multiprocessing.shared_memory.SharedMemory`
+    object alive while the numpy views exist; :meth:`close` drops the
+    mapping (never the segment itself — the owner unlinks).
+    ``materialize()`` returns a self-contained copy safe to use after
+    ``close()``.
+    """
+
+    def __init__(self, handle: TableHandle):
+        self._handle = handle
+        self._segment: Optional[shared_memory.SharedMemory] = None
+        columns: Dict[str, np.ndarray] = {}
+        if handle.segment is not None:
+            try:
+                self._segment = shared_memory.SharedMemory(
+                    name=handle.segment
+                )
+            except FileNotFoundError:
+                raise ShmError(
+                    f"shared-memory segment {handle.segment!r} is gone "
+                    "(owner unlinked it before attach, or the exporting "
+                    "worker died mid-transfer)"
+                ) from None
+        for name, dtype_str, start, length in handle.columns:
+            dtype = np.dtype(dtype_str)
+            count = length // dtype.itemsize if dtype.itemsize else 0
+            if length == 0 or self._segment is None:
+                # Zero-byte column: only possible for zero-row tables
+                # with our fixed-width dtypes, but stay defensive.
+                columns[name] = np.zeros(handle.num_rows, dtype=dtype)
+            else:
+                columns[name] = np.ndarray(
+                    (count,), dtype=dtype,
+                    buffer=self._segment.buf, offset=start,
+                )
+        self.table = Table._view(
+            handle.schema, columns, dict(handle.dictionaries)
+        )
+
+    def materialize(self) -> Table:
+        """A deep copy backed by private memory (outlives the segment)."""
+        columns = {
+            name: np.array(self.table.column(name), copy=True)
+            for name in self.table.schema.names
+        }
+        return Table._view(
+            self.table.schema, columns, dict(self._handle.dictionaries)
+        )
+
+    def close(self) -> None:
+        """Drop the mapping (invalidates ``self.table``'s views)."""
+        if self._segment is not None:
+            self._segment.close()
+            self._segment = None
+
+    def __enter__(self) -> "AttachedTable":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+class ShmRegistry:
+    """Owner of every shared-memory segment one backend session makes.
+
+    ``create`` hands out named segments under :data:`SESSION_PREFIX`;
+    ``adopt`` takes ownership of worker-created segments; ``release``
+    and ``close_all`` unlink.  ``sweep`` reclaims orphans by prefix —
+    the guard that keeps ``/dev/shm`` clean even when a worker crashed
+    between creating a result segment and reporting its name.
+
+    Each registry instance claims its own namespace under the session
+    prefix (``...i<instance>``): several registries can coexist in one
+    process (the global backend's plus test-created ones) without name
+    collisions, and one registry's ``sweep`` can never unlink another
+    live registry's segments.
+    """
+
+    _instances = 0
+
+    def __init__(self, prefix: str = SESSION_PREFIX):
+        ShmRegistry._instances += 1
+        self.prefix = f"{prefix}i{ShmRegistry._instances}"
+        self._counter = 0
+        self._owned: Dict[str, Optional[shared_memory.SharedMemory]] = {}
+
+    def next_name(self) -> str:
+        """A fresh segment name under this registry's prefix."""
+        self._counter += 1
+        return f"{self.prefix}n{self._counter}"
+
+    def create(self, nbytes: int) -> shared_memory.SharedMemory:
+        """Allocate and track a segment of at least ``nbytes``."""
+        if nbytes < 0:
+            raise ShmError(f"cannot allocate {nbytes} bytes")
+        segment = shared_memory.SharedMemory(
+            name=self.next_name(), create=True, size=max(1, nbytes)
+        )
+        self._owned[segment.name] = segment
+        return segment
+
+    def detach(self, segment: shared_memory.SharedMemory) -> None:
+        """Close our mapping of an owned segment (still tracked)."""
+        if segment.name not in self._owned:
+            raise ShmError(f"segment {segment.name!r} is not owned here")
+        segment.close()
+        self._owned[segment.name] = None
+
+    def adopt(self, name: str) -> None:
+        """Take ownership of a segment created in a worker process."""
+        if name not in self._owned:
+            self._owned[name] = None
+
+    def release(self, name: Optional[str]) -> None:
+        """Unlink one owned segment (no-op for ``None`` / unknown)."""
+        if name is None or name not in self._owned:
+            return
+        segment = self._owned.pop(name)
+        try:
+            if segment is None:
+                segment = shared_memory.SharedMemory(name=name)
+            segment.close()
+            segment.unlink()
+        except FileNotFoundError:
+            pass
+
+    def owned_names(self) -> List[str]:
+        """Currently tracked segment names (tests, leak checks)."""
+        return sorted(self._owned)
+
+    def close_all(self) -> None:
+        """Unlink every tracked segment, then sweep for orphans."""
+        for name in list(self._owned):
+            self.release(name)
+        self.sweep()
+
+    def sweep(self) -> List[str]:
+        """Unlink untracked leftovers matching this session's prefix.
+
+        Only possible where POSIX shared memory is exposed as files
+        (Linux ``/dev/shm``); elsewhere tracked-name cleanup already
+        covered everything a healthy run created, and crashed-worker
+        orphans die with the machine's tmpfs.
+        """
+        reclaimed: List[str] = []
+        if not os.path.isdir(_SHM_DIR):
+            return reclaimed
+        try:
+            entries = os.listdir(_SHM_DIR)
+        except OSError:  # pragma: no cover - permission-restricted /dev/shm
+            return reclaimed
+        for entry in entries:
+            if not entry.startswith(self.prefix):
+                continue
+            if entry in self._owned:
+                continue
+            try:
+                orphan = shared_memory.SharedMemory(name=entry)
+                orphan.close()
+                orphan.unlink()
+                reclaimed.append(entry)
+            except FileNotFoundError:
+                continue
+        return reclaimed
+
+
+def leaked_segments(prefix: str = "reproshm") -> List[str]:
+    """Names of live shared-memory segments matching ``prefix``.
+
+    The leak check used by tests and CI: after a run (including chaos
+    runs that killed workers), this must be empty.
+    """
+    if not os.path.isdir(_SHM_DIR):
+        return []
+    try:
+        return sorted(
+            entry for entry in os.listdir(_SHM_DIR)
+            if entry.startswith(prefix)
+        )
+    except OSError:  # pragma: no cover - permission-restricted /dev/shm
+        return []

@@ -1,0 +1,341 @@
+"""Picklable task payloads and their worker-side bodies.
+
+Everything that crosses the process boundary is defined here: frozen
+payload dataclasses going out (tables travel as
+:class:`~repro.parallel.shm.TableHandle`, Bloom filters as
+:class:`BloomHandle`), result dataclasses coming back (result tables
+again as handles, created by the worker and *disowned* so the
+coordinator owns the unlink).
+
+The bodies deliberately contain no pipeline logic of their own — they
+call the same :meth:`repro.jen.worker.JenWorker.process_rows` /
+:meth:`repro.edw.worker.DbWorker.filter_rows` / join-plan functions the
+sequential backend runs, so the two backends execute byte-for-byte the
+same engine code on each batch.
+
+Every body first applies :class:`TaskEnv`: the coordinator's kernels
+toggle is replayed (the long-lived pool may have been forked under a
+different setting), and testkit invariant hooks are forced **off** —
+invariants are checked once, coordinator-side, on the assembled
+results; a forked worker inheriting an armed ``checking()`` flag would
+otherwise assert against shadow state that only exists in the parent.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.bloom import BloomFilter
+from repro.edw.partitioner import agreed_hash_partition
+from repro.edw.worker import DbWorker
+from repro.jen.worker import JenWorker, ScanRequest
+from repro.kernels.partition import partition_table
+from repro.parallel.shm import (
+    AttachedTable,
+    TableHandle,
+    disown_segment,
+    export_table,
+)
+from repro.relational.expressions import Predicate
+from repro.relational.table import Table
+from repro.query.query import HybridQuery
+
+
+@dataclass(frozen=True)
+class TaskEnv:
+    """Coordinator settings a task body must replay in the worker."""
+
+    kernels: bool
+    #: The coordinator's session prefix; result segments are named
+    #: under it so a post-crash sweep can find them.
+    prefix: str
+
+
+def _enter_task_env(env: TaskEnv) -> None:
+    """Apply the coordinator's toggles inside the pool worker."""
+    from repro import kernels
+    from repro.testkit import invariants
+
+    kernels.set_kernels_enabled(env.kernels)
+    # Invariant hooks run coordinator-side on the assembled results;
+    # the worker must not assert against forked shadow state.
+    invariants._CHECKING = False
+
+
+class _ResultAllocator:
+    """Segment factory for worker-created result tables.
+
+    Names carry the coordinator's session prefix plus this worker's PID
+    (so concurrent pool workers cannot collide) and are disowned at
+    creation: the coordinator adopts each segment when the result
+    arrives, and its sweep reclaims any whose name died with a crashing
+    worker.  Implements the ``create``/``detach`` protocol of
+    :func:`repro.parallel.shm.export_table`.
+    """
+
+    def __init__(self, prefix: str):
+        self.prefix = prefix
+        self._counter = 0
+
+    def create(self, nbytes: int) -> shared_memory.SharedMemory:
+        self._counter += 1
+        segment = shared_memory.SharedMemory(
+            name=f"{self.prefix}w{os.getpid()}r{self._counter}",
+            create=True, size=max(1, nbytes),
+        )
+        disown_segment(segment)
+        return segment
+
+    def detach(self, segment: shared_memory.SharedMemory) -> None:
+        segment.close()
+
+
+#: One allocator per (worker process, session prefix).
+_ALLOCATORS: Dict[str, _ResultAllocator] = {}
+
+
+def _result_allocator(prefix: str) -> _ResultAllocator:
+    allocator = _ALLOCATORS.get(prefix)
+    if allocator is None:
+        allocator = _ResultAllocator(prefix)
+        _ALLOCATORS[prefix] = allocator
+    return allocator
+
+
+# ----------------------------------------------------------------------
+# Bloom filters over the boundary
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BloomHandle:
+    """A Bloom filter whose word array lives in shared memory."""
+
+    num_bits: int
+    num_hashes: int
+    seed: int
+    num_added: int
+    segment: str
+    num_words: int
+
+
+def export_bloom(bloom: BloomFilter, registry) -> BloomHandle:
+    """Copy the filter's words into a fresh registry-owned segment."""
+    segment = registry.create(bloom._words.nbytes)
+    view = np.ndarray(bloom._words.shape, dtype=np.uint64,
+                      buffer=segment.buf)
+    view[...] = bloom._words
+    name = segment.name
+    registry.detach(segment)
+    return BloomHandle(
+        num_bits=bloom.num_bits,
+        num_hashes=bloom.num_hashes,
+        seed=bloom.seed,
+        num_added=bloom.num_added,
+        segment=name,
+        num_words=len(bloom._words),
+    )
+
+
+class AttachedBloom:
+    """Read-only view of an exported Bloom filter (probe-side use)."""
+
+    def __init__(self, handle: BloomHandle):
+        self._segment = shared_memory.SharedMemory(name=handle.segment)
+        self.bloom = BloomFilter(
+            handle.num_bits, handle.num_hashes, handle.seed
+        )
+        self.bloom._words = np.ndarray(
+            (handle.num_words,), dtype=np.uint64, buffer=self._segment.buf
+        )
+        self.bloom._num_added = handle.num_added
+
+    def __enter__(self) -> BloomFilter:
+        return self.bloom
+
+    def __exit__(self, *_exc) -> None:
+        self._segment.close()
+
+
+# ----------------------------------------------------------------------
+# Morsel scan (JEN side)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScanMorselTask:
+    """One fixed-row slice of one HDFS block through the scan pipeline.
+
+    ``num_partitions`` set means the shuffle partitioning is fused into
+    the morsel: the result table comes back sorted by destination with
+    ``counts[d]`` rows for each destination ``d`` — the coordinator can
+    push the finished morsel's partitions into per-destination buffers
+    while other morsels are still being scanned (the Fig. 7 overlap).
+    """
+
+    tag: Tuple[int, int, int]
+    block: TableHandle
+    row_start: int
+    row_stop: int
+    request: ScanRequest
+    db_bloom: Optional[BloomHandle]
+    num_partitions: Optional[int]
+    env: TaskEnv
+
+
+@dataclass(frozen=True)
+class ScanMorselResult:
+    """What one morsel produced (wire table as a disowned handle)."""
+
+    tag: Tuple[int, int, int]
+    handle: TableHandle
+    counts: Optional[Tuple[int, ...]]
+    rows_scanned: int
+    rows_after_predicates: int
+    rows_after_bloom: int
+
+
+def run_scan_morsel(task: ScanMorselTask) -> ScanMorselResult:
+    """Worker body: scan pipeline (+ optional fused partitioning)."""
+    _enter_task_env(task.env)
+    allocator = _result_allocator(task.env.prefix)
+    with AttachedTable(task.block) as attached:
+        rows = attached.table.slice(task.row_start, task.row_stop)
+        if task.db_bloom is not None:
+            with AttachedBloom(task.db_bloom) as db_bloom:
+                wire, after_predicates, after_bloom = \
+                    JenWorker.process_rows(rows, task.request,
+                                           db_bloom=db_bloom)
+        else:
+            wire, after_predicates, after_bloom = \
+                JenWorker.process_rows(rows, task.request)
+        counts: Optional[Tuple[int, ...]] = None
+        if (task.num_partitions is not None
+                and task.request.join_key is not None):
+            assignments = agreed_hash_partition(
+                wire.column(task.request.join_key), task.num_partitions
+            )
+            parts = partition_table(wire, assignments,
+                                    task.num_partitions)
+            counts = tuple(part.num_rows for part in parts)
+            wire = Table.concat(parts)
+        handle = export_table(wire, allocator)
+    return ScanMorselResult(
+        tag=task.tag,
+        handle=handle,
+        counts=counts,
+        rows_scanned=task.row_stop - task.row_start,
+        rows_after_predicates=after_predicates,
+        rows_after_bloom=after_bloom,
+    )
+
+
+# ----------------------------------------------------------------------
+# Local join + partial aggregation (one worker slot)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class JoinSlotTask:
+    """One worker's build/probe sides through join + partial aggregate."""
+
+    tag: int
+    l_part: TableHandle
+    t_part: TableHandle
+    query: HybridQuery
+    memory_budget_rows: float
+    env: TaskEnv
+
+
+@dataclass(frozen=True)
+class JoinSlotResult:
+    """One slot's partial aggregate plus its volume accounting."""
+
+    tag: int
+    handle: TableHandle
+    build_tuples: int
+    probe_tuples: int
+    join_output_tuples: int
+    spilled_tuples: int
+    num_fragments: int
+
+
+def run_join_slot(task: JoinSlotTask) -> JoinSlotResult:
+    """Worker body: identical to the engine's sequential slot loop."""
+    _enter_task_env(task.env)
+    from repro.jen.exchange import final_aggregate
+    from repro.jen.spill import fragment_tables, plan_spill
+    from repro.kernels import kernels_enabled
+    from repro.kernels.joinindex import JoinBuildIndex
+    from repro.query.plan import local_join, local_partial_aggregate
+
+    allocator = _result_allocator(task.env.prefix)
+    query = task.query
+    with AttachedTable(task.l_part) as l_attached, \
+            AttachedTable(task.t_part) as t_attached:
+        l_part = l_attached.table
+        t_part = t_attached.table
+        plan = plan_spill(
+            l_part.num_rows, t_part.num_rows, task.memory_budget_rows
+        )
+        build_index = None
+        if not plan.spilled and kernels_enabled():
+            build_index = JoinBuildIndex(
+                l_part.column(query.hdfs_join_key)
+            )
+        join_output = 0
+        worker_partials = []
+        for build_frag, probe_frag in fragment_tables(
+            l_part, t_part, query.hdfs_join_key, query.db_join_key,
+            plan.num_fragments,
+        ):
+            joined = local_join(probe_frag, build_frag, query,
+                                build_index=build_index)
+            join_output += joined.num_rows
+            worker_partials.append(
+                local_partial_aggregate(joined, query)
+            )
+        partial = final_aggregate(worker_partials, query)
+        handle = export_table(partial, allocator)
+        return JoinSlotResult(
+            tag=task.tag,
+            handle=handle,
+            build_tuples=l_part.num_rows,
+            probe_tuples=t_part.num_rows,
+            join_output_tuples=join_output,
+            spilled_tuples=plan.spilled_tuples(),
+            num_fragments=plan.num_fragments,
+        )
+
+
+# ----------------------------------------------------------------------
+# Database partition scan (EDW side)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DbFilterTask:
+    """One DB worker's partition through predicate + projection."""
+
+    tag: int
+    partition: TableHandle
+    predicate: Predicate
+    projection: Tuple[str, ...]
+    env: TaskEnv
+
+
+@dataclass(frozen=True)
+class DbFilterResult:
+    """One partition's filtered/projected rows."""
+
+    tag: int
+    handle: TableHandle
+
+
+def run_db_filter(task: DbFilterTask) -> DbFilterResult:
+    """Worker body: the DbWorker scan over one shipped partition."""
+    _enter_task_env(task.env)
+    allocator = _result_allocator(task.env.prefix)
+    with AttachedTable(task.partition) as attached:
+        result = DbWorker.filter_rows(
+            attached.table, task.predicate, list(task.projection)
+        )
+        handle = export_table(result, allocator)
+    return DbFilterResult(tag=task.tag, handle=handle)

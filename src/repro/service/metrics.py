@@ -1,11 +1,16 @@
 """A small counters/gauges/histograms registry for the service plane.
 
-The service plane runs entirely in simulated time, so the metrics here
-are ordinary in-process accumulators — no clocks, no threads, no
-sampling windows.  A :class:`MetricsRegistry` is owned by one
-:class:`~repro.service.server.QueryService` instance; its
-:meth:`~MetricsRegistry.render` output is what ``python -m repro serve``
-prints after replaying a stream.
+The service plane runs entirely in simulated time, but the *process*
+hosting it does not: the parallel execution backend
+(:mod:`repro.parallel`) completes shared-memory results on pool
+callback threads, and service embedders are free to drive one
+:class:`MetricsRegistry` from several threads at once.  Every
+instrument therefore guards its mutable state with a
+:class:`threading.Lock` — increments are atomic read-modify-write
+operations, never lost updates.  Pool *worker processes* do not touch
+the registry at all: they return raw stage counts to the coordinator,
+which aggregates them into these instruments from a single process
+(per-process aggregation), so no cross-process lock is needed.
 
 Histograms keep every observation (query streams here are thousands of
 points at most), so quantiles are exact rather than sketch
@@ -14,18 +19,30 @@ approximations.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional
 
 from repro.errors import ServiceError
 
 
 class Counter:
-    """A monotonically increasing count (admissions, rejections, hits)."""
+    """A monotonically increasing count (admissions, rejections, hits).
+
+    ``inc`` is atomic under the instrument's lock, so concurrent
+    increments from service threads never lose updates.
+    """
 
     def __init__(self, name: str, help_text: str = ""):
         self.name = name
         self.help_text = help_text
-        self.value = 0.0
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        """Current count."""
+        with self._lock:
+            return self._value
 
     def inc(self, amount: float = 1.0) -> None:
         """Add ``amount`` (must be non-negative) to the counter."""
@@ -33,7 +50,8 @@ class Counter:
             raise ServiceError(
                 f"counter {self.name!r} cannot decrease (inc {amount})"
             )
-        self.value += amount
+        with self._lock:
+            self._value += amount
 
     def __repr__(self) -> str:
         return f"Counter({self.name}={self.value:g})"
@@ -44,29 +62,49 @@ class Gauge:
 
     Tracks the high watermark alongside the current value — the peak
     concurrency a service run sustained is a gauge's ``high`` reading.
+    ``set``/``inc``/``dec`` update level and watermark under one lock,
+    so the watermark never misses a concurrent spike.
     """
 
     def __init__(self, name: str, help_text: str = ""):
         self.name = name
         self.help_text = help_text
-        self.value = 0.0
-        self.high = 0.0
+        self._lock = threading.Lock()
+        self._value = 0.0
+        self._high = 0.0
+
+    @property
+    def value(self) -> float:
+        """Current level."""
+        with self._lock:
+            return self._value
+
+    @property
+    def high(self) -> float:
+        """High watermark."""
+        with self._lock:
+            return self._high
 
     def set(self, value: float) -> None:
         """Set the current level."""
-        self.value = float(value)
-        self.high = max(self.high, self.value)
+        with self._lock:
+            self._value = float(value)
+            self._high = max(self._high, self._value)
 
     def inc(self, amount: float = 1.0) -> None:
         """Adjust the current level by ``amount`` (may be negative)."""
-        self.set(self.value + amount)
+        with self._lock:
+            self._value += float(amount)
+            self._high = max(self._high, self._value)
 
     def dec(self, amount: float = 1.0) -> None:
         """Shorthand for ``inc(-amount)``."""
         self.inc(-amount)
 
     def __repr__(self) -> str:
-        return f"Gauge({self.name}={self.value:g}, high={self.high:g})"
+        with self._lock:
+            return (f"Gauge({self.name}={self._value:g}, "
+                    f"high={self._high:g})")
 
 
 class Histogram:
@@ -75,42 +113,50 @@ class Histogram:
     def __init__(self, name: str, help_text: str = ""):
         self.name = name
         self.help_text = help_text
+        self._lock = threading.Lock()
         self._values: List[float] = []
         self._sorted = True
 
     def observe(self, value: float) -> None:
         """Record one observation."""
-        if self._values and value < self._values[-1]:
-            self._sorted = False
-        self._values.append(float(value))
+        with self._lock:
+            if self._values and value < self._values[-1]:
+                self._sorted = False
+            self._values.append(float(value))
 
     @property
     def count(self) -> int:
         """Number of observations."""
-        return len(self._values)
+        with self._lock:
+            return len(self._values)
 
     @property
     def total(self) -> float:
         """Sum of observations."""
-        return sum(self._values)
+        with self._lock:
+            return sum(self._values)
 
     @property
     def mean(self) -> float:
         """Arithmetic mean (0 when empty)."""
-        return self.total / self.count if self._values else 0.0
+        with self._lock:
+            if not self._values:
+                return 0.0
+            return sum(self._values) / len(self._values)
 
     def percentile(self, q: float) -> float:
         """Exact ``q``-th percentile (nearest-rank, ``0 <= q <= 100``)."""
         if not 0.0 <= q <= 100.0:
             raise ServiceError(f"percentile {q} outside [0, 100]")
-        if not self._values:
-            return 0.0
-        if not self._sorted:
-            self._values.sort()
-            self._sorted = True
-        rank = max(0, min(len(self._values) - 1,
-                          round(q / 100.0 * (len(self._values) - 1))))
-        return self._values[rank]
+        with self._lock:
+            if not self._values:
+                return 0.0
+            if not self._sorted:
+                self._values.sort()
+                self._sorted = True
+            rank = max(0, min(len(self._values) - 1,
+                              round(q / 100.0 * (len(self._values) - 1))))
+            return self._values[rank]
 
     @property
     def p50(self) -> float:
@@ -137,24 +183,28 @@ class MetricsRegistry:
 
     Re-requesting a name returns the existing instrument; requesting an
     existing name as a *different* instrument type is an error, so two
-    components cannot silently alias each other's numbers.
+    components cannot silently alias each other's numbers.  Lookup and
+    creation happen under a registry lock, so two threads racing to
+    create the same name always converge on one instrument.
     """
 
     def __init__(self):
+        self._lock = threading.Lock()
         self._metrics: Dict[str, object] = {}
 
     def _get_or_create(self, name: str, cls, help_text: str):
-        existing = self._metrics.get(name)
-        if existing is not None:
-            if not isinstance(existing, cls):
-                raise ServiceError(
-                    f"metric {name!r} already registered as "
-                    f"{type(existing).__name__}, not {cls.__name__}"
-                )
-            return existing
-        metric = cls(name, help_text)
-        self._metrics[name] = metric
-        return metric
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ServiceError(
+                        f"metric {name!r} already registered as "
+                        f"{type(existing).__name__}, not {cls.__name__}"
+                    )
+                return existing
+            metric = cls(name, help_text)
+            self._metrics[name] = metric
+            return metric
 
     def counter(self, name: str, help_text: str = "") -> Counter:
         """Get or create a counter."""
@@ -170,12 +220,17 @@ class MetricsRegistry:
 
     def get(self, name: str) -> Optional[object]:
         """The metric registered under ``name``, or None."""
-        return self._metrics.get(name)
+        with self._lock:
+            return self._metrics.get(name)
+
+    def _snapshot_items(self):
+        with self._lock:
+            return sorted(self._metrics.items())
 
     def as_dict(self) -> Dict[str, object]:
         """Snapshot of every metric's headline value(s)."""
         snapshot: Dict[str, object] = {}
-        for name, metric in sorted(self._metrics.items()):
+        for name, metric in self._snapshot_items():
             if isinstance(metric, Counter):
                 snapshot[name] = metric.value
             elif isinstance(metric, Gauge):
@@ -193,7 +248,7 @@ class MetricsRegistry:
     def render(self) -> str:
         """Multi-line human-readable report of every metric."""
         lines = []
-        for name, metric in sorted(self._metrics.items()):
+        for name, metric in self._snapshot_items():
             if isinstance(metric, Counter):
                 lines.append(f"  {name:<42s} {metric.value:12g}")
             elif isinstance(metric, Gauge):

@@ -59,6 +59,12 @@ FAULT_AXIS = (
 )
 #: db_servers per worker count (mirrors the paper's 6-per-server shape).
 _DB_SERVERS = {1: 1, 4: 2, 30: 5}
+#: Execution-backend axis: single-process engines vs the real
+#: multiprocessing pool of :mod:`repro.parallel`.
+BACKEND_AXIS = ("sequential", "process")
+#: Pool size for process-backend cells; two workers exercises real
+#: cross-process transport even on a single-core CI runner.
+_CELL_POOL_WORKERS = 2
 
 
 @dataclass(frozen=True)
@@ -71,6 +77,7 @@ class ConfigCell:
     kernels: bool = True
     fault_spec: Optional[str] = None
     cache_warm: bool = False
+    backend: str = "sequential"
 
     def label(self) -> str:
         """Compact cell id for test parametrisation and repro output."""
@@ -80,6 +87,8 @@ class ConfigCell:
             parts.append(f"faults[{self.fault_spec}]")
         if self.cache_warm:
             parts.append("warm")
+        if self.backend != "sequential":
+            parts.append("proc")
         return "/".join(parts)
 
 
@@ -323,7 +332,13 @@ def run_cell(case: DataCase, cell: ConfigCell,
         warehouse = build_cell_warehouse(
             case, cell.workers, cell.format_name
         )
+    from repro.parallel import set_execution_backend
+
     previous_kernels = set_kernels_enabled(cell.kernels)
+    previous_backend = set_execution_backend(
+        cell.backend,
+        workers=_CELL_POOL_WORKERS if cell.backend == "process" else None,
+    )
     try:
         if cell.cache_warm:
             return _run_via_service(warehouse, case, cell.algorithm)
@@ -341,6 +356,7 @@ def run_cell(case: DataCase, cell: ConfigCell,
         ).result
     finally:
         set_kernels_enabled(previous_kernels)
+        set_execution_backend(previous_backend)
 
 
 class WarehouseCache:
@@ -392,6 +408,9 @@ def default_grid(seed: int = 2015) -> List[Tuple[DataCase, ConfigCell]]:
         grid.append((base, ConfigCell(
             algorithm, workers=4, cache_warm=True,
         )))
+        grid.append((base, ConfigCell(
+            algorithm, workers=4, backend="process",
+        )))
     extra_cases = [generate_data_case(seed + 1)] + edge_cases()
     for case in extra_cases:
         for algorithm in ALL_ALGORITHMS:
@@ -422,4 +441,10 @@ def wide_grid(seeds: Sequence[int]) -> List[Tuple[DataCase, ConfigCell]]:
             grid.append((case, ConfigCell(
                 algorithm, workers=30, cache_warm=True,
             )))
+            for workers in WORKER_AXIS:
+                for kernels in (True, False):
+                    grid.append((case, ConfigCell(
+                        algorithm, workers=workers, kernels=kernels,
+                        backend="process",
+                    )))
     return grid

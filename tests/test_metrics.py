@@ -69,6 +69,73 @@ class TestHistogram:
             histogram.percentile(101)
 
 
+class TestConcurrency:
+    """Instruments must survive concurrent mutation without lost
+    updates — the parallel backend's callback threads and embedders'
+    service threads share one registry."""
+
+    THREADS = 8
+    ITERATIONS = 2_000
+
+    def _hammer(self, work):
+        import threading
+
+        barrier = threading.Barrier(self.THREADS)
+
+        def body():
+            barrier.wait()
+            for _ in range(self.ITERATIONS):
+                work()
+
+        threads = [threading.Thread(target=body)
+                   for _ in range(self.THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    def test_counter_concurrent_increments(self):
+        counter = MetricsRegistry().counter("hits")
+        self._hammer(lambda: counter.inc(1.0))
+        assert counter.value == self.THREADS * self.ITERATIONS
+
+    def test_gauge_concurrent_inc_dec_balances(self):
+        gauge = MetricsRegistry().gauge("depth")
+
+        def pulse():
+            gauge.inc()
+            gauge.dec()
+
+        self._hammer(pulse)
+        assert gauge.value == 0
+        assert 1 <= gauge.high <= self.THREADS
+
+    def test_histogram_concurrent_observe(self):
+        histogram = MetricsRegistry().histogram("latency")
+        self._hammer(lambda: histogram.observe(1.0))
+        assert histogram.count == self.THREADS * self.ITERATIONS
+        assert histogram.p50 == 1.0
+
+    def test_registry_concurrent_get_or_create(self):
+        import threading
+
+        registry = MetricsRegistry()
+        barrier = threading.Barrier(self.THREADS)
+        seen = []
+
+        def body():
+            barrier.wait()
+            seen.append(registry.counter("shared"))
+
+        threads = [threading.Thread(target=body)
+                   for _ in range(self.THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(instrument is seen[0] for instrument in seen)
+
+
 class TestRegistry:
     def test_get_or_create_returns_same_instrument(self):
         registry = MetricsRegistry()

@@ -1,0 +1,230 @@
+"""Tests for the multicore execution backend (:mod:`repro.parallel`).
+
+Covers the shared-memory table codec (round-trips over every dtype,
+empty tables, missing segments), the guarded segment registry, crash
+containment (a pool worker dying mid-task must reclaim every segment
+and surface a typed error), the backend toggle, and end-to-end
+equivalence: the process backend must produce row-identical results to
+the sequential engines and the single-node oracle.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import parallel
+from repro.errors import ParallelExecutionError, ReproError, ShmError
+from repro.parallel import (
+    AttachedTable,
+    ShmRegistry,
+    export_table,
+    leaked_segments,
+    set_execution_backend,
+)
+from repro.parallel.pool import ProcessBackend
+from repro.relational.schema import Column, DataType, Schema
+from repro.relational.table import Table
+
+
+def _all_dtypes_table(num_rows: int = 64) -> Table:
+    schema = Schema([
+        Column("i32", DataType.INT32),
+        Column("i64", DataType.INT64),
+        Column("f64", DataType.FLOAT64),
+        Column("day", DataType.DATE),
+        Column("tag", DataType.DICT_STRING, width_bytes=12),
+    ])
+    rng = np.random.default_rng(7)
+    return Table(schema, {
+        "i32": rng.integers(-100, 100, num_rows).astype(np.int32),
+        "i64": rng.integers(0, 1 << 40, num_rows).astype(np.int64),
+        "f64": rng.random(num_rows),
+        "day": rng.integers(0, 20_000, num_rows).astype(np.int32),
+        "tag": rng.integers(0, 3, num_rows).astype(np.int32),
+    }, dictionaries={
+        "tag": np.array(["ash", "beech", "cedar"], dtype=object),
+    })
+
+
+@pytest.fixture
+def registry():
+    registry = ShmRegistry()
+    yield registry
+    registry.close_all()
+    assert leaked_segments(registry.prefix) == []
+
+
+# ----------------------------------------------------------------------
+# ShmTable codec round trips
+# ----------------------------------------------------------------------
+class TestShmRoundTrip:
+    def test_all_dtypes(self, registry):
+        table = _all_dtypes_table()
+        handle = export_table(table, registry)
+        with AttachedTable(handle) as attached:
+            view = attached.table
+            assert view.schema == table.schema
+            assert view.to_rows() == table.to_rows()
+            copy = attached.materialize()
+        # The materialized copy must survive the segment's release.
+        registry.release(handle.segment)
+        assert copy.to_rows() == table.to_rows()
+        assert list(copy.dictionary("tag")) == ["ash", "beech", "cedar"]
+
+    def test_empty_table_has_no_segment(self, registry):
+        table = Table.empty(_all_dtypes_table().schema)
+        handle = export_table(table, registry)
+        assert handle.segment is None
+        assert handle.num_rows == 0
+        with AttachedTable(handle) as attached:
+            materialized = attached.materialize()
+        assert materialized.num_rows == 0
+        assert materialized.schema == table.schema
+
+    def test_zero_row_slice_round_trips(self, registry):
+        table = _all_dtypes_table().slice(10, 10)
+        assert table.num_rows == 0
+        handle = export_table(table, registry)
+        with AttachedTable(handle) as attached:
+            assert attached.materialize().to_rows() == []
+
+    def test_single_row(self, registry):
+        table = _all_dtypes_table(1)
+        handle = export_table(table, registry)
+        with AttachedTable(handle) as attached:
+            assert attached.materialize().to_rows() == table.to_rows()
+
+    def test_missing_segment_raises_typed_error(self, registry):
+        handle = export_table(_all_dtypes_table(), registry)
+        registry.release(handle.segment)
+        with pytest.raises(ShmError, match="segment"):
+            AttachedTable(handle)
+
+
+# ----------------------------------------------------------------------
+# Segment registry
+# ----------------------------------------------------------------------
+class TestShmRegistry:
+    def test_create_release_unlinks(self, registry):
+        segment = registry.create(128)
+        name = segment.name
+        registry.detach(segment)
+        assert name in registry.owned_names()
+        registry.release(name)
+        assert registry.owned_names() == []
+        assert leaked_segments(registry.prefix) == []
+
+    def test_release_tolerates_already_gone(self, registry):
+        segment = registry.create(64)
+        registry.detach(segment)
+        registry.release(segment.name)
+        registry.release(segment.name)  # second release must not raise
+
+    def test_sweep_reclaims_disowned_orphans(self, registry):
+        from multiprocessing import shared_memory
+
+        from repro.parallel.shm import disown_segment
+
+        orphan = shared_memory.SharedMemory(
+            create=True, size=64, name=f"{registry.prefix}orphan"
+        )
+        disown_segment(orphan)
+        orphan.close()
+        assert leaked_segments(registry.prefix) != []
+        swept = registry.sweep()
+        assert f"{registry.prefix}orphan" in swept
+        assert leaked_segments(registry.prefix) == []
+
+
+# ----------------------------------------------------------------------
+# Backend toggle
+# ----------------------------------------------------------------------
+class TestBackendToggle:
+    def test_set_returns_previous_and_restores(self):
+        previous = set_execution_backend("process", workers=2)
+        try:
+            assert previous == "sequential"
+            assert parallel.parallel_enabled()
+            assert parallel.pool_workers() == 2
+        finally:
+            assert set_execution_backend(previous) == "process"
+        assert not parallel.parallel_enabled()
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ReproError, match="unknown execution backend"):
+            set_execution_backend("threads")
+
+    def test_rejects_nonpositive_pool(self):
+        with pytest.raises(ReproError, match="workers"):
+            set_execution_backend("process", workers=0)
+        assert not parallel.parallel_enabled()
+
+
+# ----------------------------------------------------------------------
+# Crash containment
+# ----------------------------------------------------------------------
+def _die_mid_task(_payload):
+    os._exit(13)
+
+
+def _echo(payload):
+    return payload
+
+
+class TestCrashContainment:
+    def test_worker_death_reclaims_segments_and_recovers(self):
+        backend = ProcessBackend(workers=2)
+        try:
+            # Park an input segment in the pool's registry so the crash
+            # path has something real to reclaim.
+            backend.export_transient(_all_dtypes_table())
+            assert backend.registry.owned_names() != []
+            with pytest.raises(ParallelExecutionError, match="died"):
+                backend.run_all(_die_mid_task, [None])
+            # The guarded shutdown must have unlinked everything.
+            assert backend.registry.owned_names() == []
+            assert leaked_segments(backend.registry.prefix) == []
+            # The backend is reusable: the next call forks a new pool.
+            assert backend.run_all(_echo, [1, 2, 3]) == [1, 2, 3]
+        finally:
+            backend.shutdown()
+        assert leaked_segments(backend.registry.prefix) == []
+
+
+# ----------------------------------------------------------------------
+# End-to-end equivalence: process == sequential == oracle
+# ----------------------------------------------------------------------
+class TestProcessBackendEndToEnd:
+    @pytest.fixture(scope="class")
+    def case(self):
+        from repro.testkit import generator
+
+        return generator.generate_data_case(2015)
+
+    @pytest.mark.parametrize("algorithm", ["repartition", "zigzag"])
+    def test_row_identical_to_sequential_and_oracle(self, case, algorithm):
+        from repro.testkit import generator, oracle
+
+        sequential = generator.run_cell(
+            case, generator.ConfigCell(algorithm, workers=4)
+        )
+        process = generator.run_cell(
+            case, generator.ConfigCell(
+                algorithm, workers=4, backend="process")
+        )
+        assert oracle.compare_tables(
+            process, case.oracle_rows(), label=f"{algorithm}/process"
+        ) is None
+        assert sorted(process.to_rows()) == sorted(sequential.to_rows())
+        assert parallel.execution_backend() == "sequential"
+
+    def test_no_segments_leak_after_runs(self):
+        from repro.parallel.shm import SESSION_PREFIX
+
+        parallel.shutdown_backend()
+        # Scoped to this process's session prefix so a concurrently
+        # running repro process cannot trip the check.
+        assert leaked_segments(SESSION_PREFIX) == []
