@@ -122,7 +122,8 @@ def _cmd_serve(args) -> int:
             arrival_gap=args.arrival_gap, tenants=args.tenants,
             seed=args.seed,
         )
-        config = ServiceConfig(admission=AdmissionConfig(slots=args.slots))
+        config = ServiceConfig(admission=AdmissionConfig(slots=args.slots),
+                               enable_adaptive=args.adaptive)
     except ServiceError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -317,6 +318,10 @@ def main(argv=None) -> int:
     serve_parser.add_argument("--arrival-gap", type=float, default=5.0,
                               help="simulated seconds between arrivals")
     serve_parser.add_argument("--algorithm", default="auto")
+    serve_parser.add_argument("--adaptive", action="store_true",
+                              help="run auto queries through the "
+                                   "adaptive (mid-query re-optimizing) "
+                                   "path")
     serve_parser.add_argument("--seed", type=int, default=11)
     serve_parser.add_argument("--backend", default="sequential",
                               choices=["sequential", "process"],

@@ -1,0 +1,191 @@
+"""Adaptive-join benchmark: the cost of being wrong, with and without
+mid-query re-optimization.
+
+For each scenario a workload whose advisor pick flips under a seeded
+estimate error is run three ways on identical data:
+
+* ``static_correct`` — the plan the advisor picks with *accurate*
+  estimates (the oracle pick);
+* ``static_mispick`` — the plan it picks under the injected error,
+  run to completion (what a non-adaptive engine would pay);
+* ``adaptive`` — :class:`~repro.adaptive.AdaptiveJoin` starting from
+  the same wrong estimate, switching at the checkpoint where the
+  observed statistics expose the error.
+
+All times are *simulated* seconds from the priced traces, so they are
+deterministic and the invariant gate is exact: adaptive must land
+strictly between the correct pick and the mispick — it pays for the
+abandoned work and the switch (worse than clairvoyance) but escapes
+the mispicked plan (far better than stubbornness)::
+
+    PYTHONPATH=src python benchmarks/bench_adaptive.py \
+        --out benchmarks/results/BENCH_adaptive.json
+
+    # CI smoke: one scenario, gate on the orderings
+    PYTHONPATH=src python benchmarks/bench_adaptive.py --quick \
+        --check benchmarks/results/BENCH_adaptive.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Dict, List, Optional
+
+#: (name, generator seed, workers, (sigma_t_factor, sigma_l_factor)).
+#: Seeds chosen so the error flips the advisor to a DB-side mispick
+#: that the observed runtime statistics then overturn mid-scan.
+SCENARIOS = (
+    ("sigma_l_under_10x", 2005, 4, (1.0, 0.1)),
+    ("sigma_l_under_10x_bf", 2016, 4, (1.0, 0.1)),
+    ("sigma_l_under_10x_zigzag", 2014, 4, (1.0, 0.1)),
+    ("sigma_l_under_10x_wide", 2025, 30, (1.0, 0.1)),
+)
+
+
+def _run_scenario(name: str, seed: int, workers: int, errors) -> Dict:
+    from repro.core.joins import AdaptiveJoin, algorithm_by_name
+    from repro.testkit import generator, oracle
+
+    case = generator.generate_data_case(seed)
+
+    def warehouse():
+        return generator.build_cell_warehouse(case, workers, "parquet")
+
+    adaptive = AdaptiveJoin(estimate_errors=errors).run(
+        warehouse(), case.query
+    )
+    report = adaptive.trace.metadata["adaptive"]
+    mispick_name = report["initial_algorithm"]
+    correct_name = report["final_algorithm"]
+    mispick = algorithm_by_name(mispick_name).run(warehouse(), case.query)
+    correct = algorithm_by_name(correct_name).run(warehouse(), case.query)
+    diff = oracle.compare_tables(
+        adaptive.result, case.oracle_rows(), label=f"adaptive/{name}"
+    )
+
+    t_adaptive = adaptive.timing.total_seconds
+    t_mispick = mispick.timing.total_seconds
+    t_correct = correct.timing.total_seconds
+    return {
+        "seed": seed,
+        "workers": workers,
+        "estimate_errors": list(errors),
+        "switched": report["switched"],
+        "switch_at_progress": (
+            report["switches"][0]["at_progress"]
+            if report["switched"] else None
+        ),
+        "path": report["path"],
+        "static_correct": correct_name,
+        "static_mispick": mispick_name,
+        "correct_seconds": round(t_correct, 3),
+        "mispick_seconds": round(t_mispick, 3),
+        "adaptive_seconds": round(t_adaptive, 3),
+        "regret_vs_correct": round(t_adaptive - t_correct, 3),
+        "saved_vs_mispick": round(t_mispick - t_adaptive, 3),
+        "strictly_between": t_correct < t_adaptive < t_mispick,
+        "oracle_identical": diff is None,
+    }
+
+
+def run_adaptive_bench(quick: bool = False) -> Dict:
+    scenarios = SCENARIOS[:1] if quick else SCENARIOS
+    results = {}
+    for name, seed, workers, errors in scenarios:
+        results[name] = _run_scenario(name, seed, workers, errors)
+    return {
+        "benchmark": "adaptive",
+        "mode": "quick" if quick else "full",
+        "scenarios": results,
+    }
+
+
+def render(payload: Dict) -> str:
+    lines = [f"adaptive re-optimization benchmark ({payload['mode']})", ""]
+    header = (f"{'scenario':<26} {'correct':>9} {'adaptive':>9} "
+              f"{'mispick':>9}  path")
+    lines += [header, "-" * len(header)]
+    for name, row in payload["scenarios"].items():
+        lines.append(
+            f"{name:<26} {row['correct_seconds']:>8.1f}s "
+            f"{row['adaptive_seconds']:>8.1f}s "
+            f"{row['mispick_seconds']:>8.1f}s  "
+            f"{'->'.join(row['path'])}"
+        )
+    for name, row in payload["scenarios"].items():
+        if not row["strictly_between"]:
+            lines.append(f"  WARNING: {name} not strictly between "
+                         "the static plans")
+        if not row["oracle_identical"]:
+            lines.append(f"  WARNING: {name} diverged from the oracle")
+    return "\n".join(lines)
+
+
+def check_invariants(payload: Dict, baseline: Dict) -> List[str]:
+    """Ordering gates vs the checked-in baseline (not exact times).
+
+    Every scenario present in both payloads must (still) switch, stay
+    oracle-identical, and land strictly between its static plans.
+    """
+    failures = []
+    for name, row in payload["scenarios"].items():
+        if name not in baseline.get("scenarios", {}):
+            continue
+        if not row["switched"]:
+            failures.append(f"{name}: adaptive run no longer switches")
+        if not row["oracle_identical"]:
+            failures.append(f"{name}: result diverged from the oracle")
+        if not row["strictly_between"]:
+            failures.append(
+                f"{name}: adaptive {row['adaptive_seconds']}s not "
+                f"strictly between correct {row['correct_seconds']}s "
+                f"and mispick {row['mispick_seconds']}s"
+            )
+    return failures
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--out", help="write the JSON payload to this path")
+    parser.add_argument("--quick", action="store_true",
+                        help="first scenario only, for CI smoke runs")
+    parser.add_argument(
+        "--check", metavar="BASELINE",
+        help="verify the switch/ordering invariants against a baseline "
+             "JSON; exit 1 on violation",
+    )
+
+
+def run_from_args(args) -> int:
+    payload = run_adaptive_bench(quick=args.quick)
+    print(render(payload))
+    if args.out:
+        out = pathlib.Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote {out}")
+    if args.check:
+        baseline = json.loads(pathlib.Path(args.check).read_text())
+        failures = check_invariants(payload, baseline)
+        if failures:
+            print("\nadaptive invariant violations:", file=sys.stderr)
+            for line in failures:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"\nall switch/ordering invariants hold vs {args.check}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.adaptive",
+        description="Mid-query re-optimization vs the static plans",
+    )
+    add_arguments(parser)
+    return run_from_args(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -81,6 +81,19 @@ class JoinAdvisor:
             "zigzag": self._estimate_zigzag(est),
         }
 
+    def scan_seconds(self, est: WorkloadEstimate) -> float:
+        """Estimated full HDFS scan time — the component the adaptive
+        plane pro-rates by observed scan progress."""
+        c = self._costing
+        return c.hdfs_scan_seconds(
+            est.l_rows * est.l_scan_bytes, est.l_rows, est.format_name
+        )
+
+    def db_filter_seconds(self, est: WorkloadEstimate) -> float:
+        """Estimated database filter time — sunk once T′ is built, and
+        credited back when banked T′ partitions make it reusable."""
+        return self._costing.db_table_scan_seconds(est.t_rows * 65.0)
+
     def decide(self, est: WorkloadEstimate) -> AdvisorDecision:
         """Pick the cheapest algorithm (ties on name) and explain it."""
         estimates = self.estimate_all(est)

@@ -29,9 +29,13 @@ from repro.core.joins.repartition import RepartitionJoin
 from repro.core.joins.zigzag import ZigzagJoin
 from repro.core.joins.zigzag_db import ZigzagDbJoin
 from repro.core.joins.semijoin import PerfJoin, SemiJoin
+# Registered last: the adaptive wrapper re-dispatches through the
+# registry the static algorithms just filled.
+from repro.adaptive.algorithm import AdaptiveJoin
 
 __all__ = [
     "ALGORITHMS",
+    "AdaptiveJoin",
     "BroadcastJoin",
     "DbSideJoin",
     "JoinAlgorithm",

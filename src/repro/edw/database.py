@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.adaptive import hooks as adaptive_hooks
 from repro.config import ClusterConfig
 from repro.core.bloom import BloomFilter
 from repro.edw.optimizer import DbJoinChoice, DbJoinStrategy
@@ -241,15 +242,19 @@ class ParallelDatabase:
                 )
                 for worker, part in zip(self.workers, parts)
             ]
-            return parts, stats
-        parts = []
-        stats = []
-        for worker in self.workers:
-            part, worker_stats = worker.filter_project(
-                table_name, predicate, projection
-            )
-            parts.append(part)
-            stats.append(worker_stats)
+        else:
+            parts = []
+            stats = []
+            for worker in self.workers:
+                part, worker_stats = worker.filter_project(
+                    table_name, predicate, projection
+                )
+                parts.append(part)
+                stats.append(worker_stats)
+        adaptive_hooks.record_db_filter(
+            sum(s.rows_scanned for s in stats),
+            sum(s.rows_out for s in stats),
+        )
         return parts, stats
 
     def _filter_project_parallel(
@@ -270,6 +275,7 @@ class ParallelDatabase:
                 parallel.get_backend(parallel.pool_workers()),
             )
         except parallel.ParallelUnsupported:
+            parallel.record_fallback("db.filter", "unsupported-payload")
             return None
 
     def build_global_bloom(

@@ -21,6 +21,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
+from repro.adaptive import hooks as adaptive_hooks
 from repro.config import HybridConfig
 from repro.core.bloom import BloomFilter
 from repro.errors import CatalogError, FaultError, JoinError, WorkerCrashError
@@ -220,10 +221,19 @@ class Jen:
         meta = self.coordinator.table_meta(table_name)
         self._scan_depth += 1
         try:
-            if injector is None:
+            from repro import parallel
+
+            if injector is not None:
                 # Deterministic fault replay needs the sequential work
                 # queue, so the process backend only handles fault-free
                 # scans.
+                parallel.record_fallback("jen.scan", "fault-plan-armed")
+            elif adaptive_hooks.adaptive_active():
+                # Decision checkpoints observe the scan block by block;
+                # the fused parallel scan has no per-block seam to
+                # interrupt.
+                parallel.record_fallback("jen.scan", "adaptive-active")
+            else:
                 result = self._try_parallel_scan(
                     meta, request, db_bloom, build_local_blooms,
                     bloom_seed,
@@ -270,6 +280,7 @@ class Jen:
                 backend=backend,
             )
         except parallel.ParallelUnsupported:
+            parallel.record_fallback("jen.scan", "unsupported-payload")
             return None
         if outcome.outgoing is not None:
             self._shuffle_stash = (
@@ -314,6 +325,9 @@ class Jen:
         tasks = deque(
             (worker, list(assignment.blocks_for(worker.worker_id)))
             for worker in self.workers
+        )
+        adaptive_hooks.scan_begin(
+            sum(len(blocks) for _worker, blocks in tasks)
         )
         pieces: Dict[int, List[Table]] = {
             worker.worker_id: [] for worker in self.workers
@@ -533,22 +547,25 @@ class Jen:
                     pressure if memory_budget_rows <= 0
                     else min(memory_budget_rows, pressure)
                 )
-        if injector is None and self.build_index_provider is None:
+        from repro import parallel
+
+        if injector is not None:
+            parallel.record_fallback("jen.join", "fault-plan-armed")
+        elif self.build_index_provider is not None:
             # The process backend runs fault-free joins without a
             # cross-query index provider (the cache lives coordinator-
             # side and cannot be shared with pool workers).
-            from repro import parallel
+            parallel.record_fallback("jen.join", "build-index-provider")
+        elif parallel.parallel_enabled():
+            from repro.parallel.join import parallel_join_and_aggregate
 
-            if parallel.parallel_enabled():
-                from repro.parallel.join import parallel_join_and_aggregate
-
-                try:
-                    return parallel_join_and_aggregate(
-                        l_parts, t_parts, query, memory_budget_rows,
-                        parallel.get_backend(parallel.pool_workers()),
-                    )
-                except parallel.ParallelUnsupported:
-                    pass
+            try:
+                return parallel_join_and_aggregate(
+                    l_parts, t_parts, query, memory_budget_rows,
+                    parallel.get_backend(parallel.pool_workers()),
+                )
+            except parallel.ParallelUnsupported:
+                parallel.record_fallback("jen.join", "unsupported-payload")
         from repro.jen.spill import fragment_tables, plan_spill
         from repro.kernels import kernels_enabled
         from repro.kernels.joinindex import JoinBuildIndex

@@ -19,6 +19,7 @@ from repro.errors import JoinError
 from repro.relational.table import Table
 from repro.query.plan import merge_partials, partial_tables_nonempty
 from repro.query.query import HybridQuery
+from repro.adaptive import hooks as adaptive_hooks
 from repro.testkit import invariants
 
 
@@ -106,6 +107,9 @@ def shuffle(outgoing: Sequence[Sequence[Table]],
         invariants.check_shuffle_delivery(
             outgoing, per_destination, delivery_counts
         )
+    adaptive_hooks.record_shuffle_partitions(
+        [table.num_rows for table in per_destination]
+    )
     return ShuffleResult(
         per_destination=per_destination,
         tuples_shuffled=tuples_shuffled,

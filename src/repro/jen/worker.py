@@ -21,6 +21,7 @@ from repro.hdfs.filesystem import HdfsFileSystem, HdfsTableMeta
 from repro.relational.expressions import Predicate
 from repro.relational.table import Table
 from repro.query.query import DerivedColumn, HybridQuery
+from repro.adaptive import hooks as adaptive_hooks
 from repro.testkit import invariants
 
 
@@ -152,6 +153,14 @@ class JenWorker:
             stats.rows_after_predicates += after_predicates
             stats.rows_after_bloom += after_bloom
             pieces.append(wire)
+            # One fully processed block: the adaptive plane's finest
+            # observation grain (may raise SwitchSignal at a crossed
+            # decision checkpoint).
+            adaptive_hooks.record_scan_block(
+                rows.num_rows, rows.num_rows * scan_row_bytes,
+                after_predicates, after_bloom,
+                db_bloom is not None and request.join_key is not None,
+            )
 
         if pieces:
             wire = Table.concat(pieces)

@@ -32,7 +32,7 @@ payload cannot be pickled (e.g. SQL-registered lambda UDFs).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Tuple
 
 from repro.errors import ReproError
 
@@ -40,6 +40,43 @@ VALID_BACKENDS = ("sequential", "process")
 
 _BACKEND_NAME = "sequential"
 _POOL_WORKERS: Optional[int] = None
+
+#: ``(site, reason)`` pairs recorded while the process backend was
+#: selected but an engine call site ran sequentially anyway.  Bounded so
+#: a long-running service cannot grow it without draining.
+_FALLBACK_EVENTS: List[Tuple[str, str]] = []
+_FALLBACK_CAP = 64
+
+
+def record_fallback(site: str, reason: str) -> None:
+    """Note that ``site`` fell back to the sequential path.
+
+    Call sites invoke this unconditionally; the record is kept only
+    while the process backend is actually selected, so sequential runs
+    (where "falling back" is just the normal path) pay one string
+    comparison and store nothing.
+    """
+    if _BACKEND_NAME != "process":
+        return
+    if len(_FALLBACK_EVENTS) < _FALLBACK_CAP:
+        _FALLBACK_EVENTS.append((site, reason))
+
+
+def fallback_events() -> List[Tuple[str, str]]:
+    """The recorded fallbacks, oldest first (without draining)."""
+    return list(_FALLBACK_EVENTS)
+
+
+def drain_fallback_events() -> List[Tuple[str, str]]:
+    """Return and clear the recorded fallbacks.
+
+    The join plumbing drains after each run and attaches the events to
+    the trace metadata; the service plane additionally counts them in
+    its metrics registry.
+    """
+    events = list(_FALLBACK_EVENTS)
+    _FALLBACK_EVENTS.clear()
+    return events
 
 
 class ParallelUnsupported(Exception):
@@ -113,12 +150,15 @@ __all__ = [
     "TableHandle",
     "VALID_BACKENDS",
     "default_pool_workers",
+    "drain_fallback_events",
     "execution_backend",
     "export_table",
+    "fallback_events",
     "get_backend",
     "leaked_segments",
     "parallel_enabled",
     "pool_workers",
+    "record_fallback",
     "set_execution_backend",
     "shutdown_backend",
 ]

@@ -57,6 +57,8 @@ def _try_parallel_aggregate(t_projected: Table, l_wire: Table,
     if not parallel.parallel_enabled():
         return None
     if t_projected.num_rows < _PARALLEL_MIN_PROBE_ROWS:
+        parallel.record_fallback("reference.aggregate",
+                                 "input-below-threshold")
         return None
     from repro.parallel.join import parallel_reference_aggregate
 
@@ -66,4 +68,6 @@ def _try_parallel_aggregate(t_projected: Table, l_wire: Table,
             parallel.get_backend(parallel.pool_workers()),
         )
     except parallel.ParallelUnsupported:
+        parallel.record_fallback("reference.aggregate",
+                                 "unsupported-payload")
         return None

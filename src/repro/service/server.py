@@ -70,6 +70,9 @@ class ServiceConfig:
     enable_bloom_cache: bool = True
     enable_join_index_cache: bool = True
     enable_feedback: bool = True
+    #: Run ``auto`` queries through the adaptive wrapper (mid-query
+    #: re-optimization) instead of committing to the advisor's pick.
+    enable_adaptive: bool = False
     #: Simulated coordinator latency of answering from the result cache.
     cache_hit_seconds: float = 0.1
     #: How many times a query killed by an unrecoverable injected fault
@@ -447,6 +450,8 @@ class QueryService:
     def _execute_data_plane(self, query: HybridQuery, algorithm: str):
         """Run the real data plane; returns (algorithm, rationale, run)."""
         rationale = ""
+        if algorithm == "auto" and self.config.enable_adaptive:
+            return self._execute_adaptive(query)
         if algorithm == "auto":
             decision = self.session.advise(query)
             algorithm, rationale = decision.best, decision.rationale
@@ -455,7 +460,39 @@ class QueryService:
                 query, self.warehouse.jen.num_workers, algorithm))
         join_result = algorithm_by_name(algorithm).run(
             self.warehouse, query)
+        self._count_fallbacks(join_result)
         return algorithm, rationale, join_result
+
+    def _execute_adaptive(self, query: HybridQuery):
+        """Auto mode with mid-query re-optimization.
+
+        The adaptive wrapper starts from the *refined* estimate, so the
+        feedback loop's observed statistics (themselves fed by earlier
+        adaptive runs) progressively remove the need to switch on
+        repeated templates.
+        """
+        from repro.adaptive import AdaptiveJoin
+
+        if self.config.enable_join_index_cache:
+            self.join_index_provider.set_context(build_side_key(
+                query, self.warehouse.jen.num_workers, "adaptive"))
+        estimate = self.session.estimate(query)
+        join_result = AdaptiveJoin(estimate=estimate).run(
+            self.warehouse, query)
+        self._count_fallbacks(join_result)
+        self.metrics.counter("adaptive.runs").inc()
+        report = join_result.trace.metadata.get("adaptive", {})
+        rationale = ""
+        if report.get("switched"):
+            self.metrics.counter("adaptive.switches").inc()
+            rationale = report["switches"][-1]["reason"]
+        return join_result.algorithm, rationale, join_result
+
+    def _count_fallbacks(self, join_result: JoinResult) -> None:
+        """Surface sequential-fallback events in the metrics registry."""
+        fallbacks = join_result.trace.metadata.get("parallel_fallbacks", ())
+        for _site, reason in fallbacks:
+            self.metrics.counter(f"parallel.fallback.{reason}").inc()
 
     def _refine_estimate(self, query: HybridQuery, estimate):
         """The session's estimate hook: apply accumulated feedback."""

@@ -20,8 +20,9 @@ by the cost layer from measured volumes) plus two kinds of dependencies:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.adaptive import hooks as adaptive_hooks
 from repro.errors import SimulationError
 
 
@@ -83,7 +84,46 @@ class Trace:
             tuples=float(tuples),
         )
         self._phases[name] = phase
+        # The adaptive plane (when armed) sees every priced phase, so an
+        # abandoned plan segment's already-charged work can be replayed
+        # onto the final trace.
+        adaptive_hooks.record_phase(phase)
         return phase
+
+    def graft(self, other: "Trace", drop: Sequence[str] = (),
+              remap: Optional[Dict[str, str]] = None) -> None:
+        """Append every phase of ``other``, rewiring dependencies.
+
+        ``drop`` names phases of ``other`` to omit; ``remap`` redirects
+        dependency references (typically from a dropped phase to an
+        existing phase of this trace).  Dependencies on dropped,
+        unremapped phases are removed.  Used by the adaptive plane to
+        stitch the post-switch run onto the trace that already carries
+        the abandoned segment's phases.
+        """
+        remap = dict(remap or {})
+        dropped = set(drop)
+
+        def rewire(deps: Tuple[str, ...]) -> List[str]:
+            rewired = []
+            for dep in deps:
+                dep = remap.get(dep, dep)
+                if dep in dropped:
+                    continue
+                rewired.append(dep)
+            return rewired
+
+        for phase in other:
+            if phase.name in dropped:
+                continue
+            self.add(
+                phase.name, phase.kind, phase.seconds,
+                after=rewire(phase.after),
+                streams_from=rewire(phase.streams_from),
+                description=phase.description,
+                volume_bytes=phase.volume_bytes,
+                tuples=phase.tuples,
+            )
 
     def splice_after(
         self,

@@ -223,55 +223,14 @@ class SqlSession:
     def sample_estimate(self, query: HybridQuery) -> WorkloadEstimate:
         """Sample-based selectivity estimation for the advisor.
 
-        Samples a slice of each table, applies the local predicates, and
-        measures tuple selectivities and join-key overlap — the
-        statistics a database optimizer would read from its catalog.
+        Delegates to :func:`repro.query.stats.sample_workload_estimate`
+        (shared with the adaptive plane).
         """
-        db_meta = self.warehouse.database.table_meta(query.db_table)
-        hdfs_meta = self.warehouse.hdfs.table_meta(query.hdfs_table)
-        scale_up = 1.0 / self.warehouse.config.scale
+        from repro.query.stats import sample_workload_estimate
 
-        t_sample = self._db_sample(query.db_table)
-        l_sample = self._hdfs_sample(query.hdfs_table)
-        t_mask = query.db_predicate.evaluate(t_sample)
-        l_mask = query.hdfs_predicate.evaluate(l_sample)
-        sigma_t = max(float(t_mask.mean()), 1e-5)
-        sigma_l = max(float(l_mask.mean()), 1e-5)
-        t_keys = np.unique(t_sample.column(query.db_join_key)[t_mask])
-        l_keys = np.unique(l_sample.column(query.hdfs_join_key)[l_mask])
-        common = len(np.intersect1d(t_keys, l_keys, assume_unique=True))
-        s_t = common / len(t_keys) if len(t_keys) else 1.0
-        s_l = common / len(l_keys) if len(l_keys) else 1.0
-
-        storage_format = hdfs_meta.storage_format()
-        l_scan_bytes = storage_format.scan_bytes_per_row(
-            hdfs_meta.schema, list(query.hdfs_projection)
+        return sample_workload_estimate(
+            self.warehouse, query, sample_rows=SAMPLE_ROWS
         )
-        return WorkloadEstimate(
-            t_rows=db_meta.num_rows * scale_up,
-            l_rows=hdfs_meta.num_rows * scale_up,
-            sigma_t=sigma_t,
-            sigma_l=sigma_l,
-            s_t=max(s_t, 1e-4),
-            s_l=max(s_l, 1e-4),
-            t_wire_bytes=db_meta.schema.row_width(
-                list(query.db_projection)
-            ),
-            l_wire_bytes=hdfs_meta.schema.row_width(
-                list(query.hdfs_projection)
-            ),
-            l_scan_bytes=l_scan_bytes,
-            format_name=hdfs_meta.format_name,
-        )
-
-    def _db_sample(self, name: str) -> Table:
-        partition = self.warehouse.database.workers[0].partition(name)
-        return partition.slice(0, min(SAMPLE_ROWS, partition.num_rows))
-
-    def _hdfs_sample(self, name: str) -> Table:
-        blocks = self.warehouse.hdfs.table_blocks(name)
-        rows = self.warehouse.hdfs.read_block(blocks[0])
-        return rows.slice(0, min(SAMPLE_ROWS, rows.num_rows))
 
     # ------------------------------------------------------------------
     def _present(self, result: Table, translation: Translation) -> Table:

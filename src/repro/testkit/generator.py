@@ -40,10 +40,11 @@ from repro.relational.expressions import BetweenDayDiff, compare
 from repro.relational.table import Table
 from repro.workload import WorkloadSpec, build_paper_query, generate_workload
 
-#: Every registered join algorithm, including the exact baselines.
+#: Every registered join algorithm, including the exact baselines and
+#: the mid-query re-optimizing wrapper.
 ALL_ALGORITHMS = (
     "db", "db(BF)", "broadcast", "repartition", "repartition(BF)",
-    "zigzag", "zigzag-db", "semijoin", "perf",
+    "zigzag", "zigzag-db", "semijoin", "perf", "adaptive",
 )
 #: The metamorphic worker-count axis (1 = fully degenerate cluster).
 WORKER_AXIS = (1, 4, 30)
@@ -65,6 +66,13 @@ BACKEND_AXIS = ("sequential", "process")
 #: Pool size for process-backend cells; two workers exercises real
 #: cross-process transport even on a single-core CI runner.
 _CELL_POOL_WORKERS = 2
+#: Estimate-error axis for adaptive cells: seeded ``(sigma_t_factor,
+#: sigma_l_factor)`` pairs scaling the initial estimate.  ``(1.0, 0.1)``
+#: is the paper-style 10x sigma_L underestimate that makes the advisor
+#: mispick a DB-side plan and forces a mid-scan switch.
+ESTIMATE_ERROR_AXIS = (
+    (1.0, 0.1), (0.1, 1.0), (1.0, 10.0), (10.0, 1.0),
+)
 
 
 @dataclass(frozen=True)
@@ -78,6 +86,9 @@ class ConfigCell:
     fault_spec: Optional[str] = None
     cache_warm: bool = False
     backend: str = "sequential"
+    #: ``(sigma_t_factor, sigma_l_factor)`` injected into the adaptive
+    #: wrapper's initial estimate (only meaningful for ``"adaptive"``).
+    estimate_error: Optional[Tuple[float, float]] = None
 
     def label(self) -> str:
         """Compact cell id for test parametrisation and repro output."""
@@ -89,6 +100,11 @@ class ConfigCell:
             parts.append("warm")
         if self.backend != "sequential":
             parts.append("proc")
+        if self.estimate_error is not None:
+            parts.append(
+                f"esterr[{self.estimate_error[0]:g}x,"
+                f"{self.estimate_error[1]:g}x]"
+            )
         return "/".join(parts)
 
 
@@ -339,19 +355,22 @@ def run_cell(case: DataCase, cell: ConfigCell,
         cell.backend,
         workers=_CELL_POOL_WORKERS if cell.backend == "process" else None,
     )
+    algorithm_kwargs = {}
+    if cell.estimate_error is not None:
+        algorithm_kwargs["estimate_errors"] = cell.estimate_error
     try:
         if cell.cache_warm:
             return _run_via_service(warehouse, case, cell.algorithm)
         if cell.fault_spec:
             warehouse.arm_faults(FaultPlan.from_spec(cell.fault_spec))
             try:
-                result = algorithm_by_name(cell.algorithm).run(
-                    warehouse, case.query
-                )
+                result = algorithm_by_name(
+                    cell.algorithm, **algorithm_kwargs
+                ).run(warehouse, case.query)
             finally:
                 warehouse.disarm_faults()
             return result.result
-        return algorithm_by_name(cell.algorithm).run(
+        return algorithm_by_name(cell.algorithm, **algorithm_kwargs).run(
             warehouse, case.query
         ).result
     finally:
@@ -411,6 +430,13 @@ def default_grid(seed: int = 2015) -> List[Tuple[DataCase, ConfigCell]]:
         grid.append((base, ConfigCell(
             algorithm, workers=4, backend="process",
         )))
+    # Adaptive x injected estimate errors: each pair makes the initial
+    # advice wrong in a different direction; the result must still be
+    # the oracle's, wherever (or whether) the switch lands.
+    for estimate_error in ESTIMATE_ERROR_AXIS:
+        grid.append((base, ConfigCell(
+            "adaptive", workers=4, estimate_error=estimate_error,
+        )))
     extra_cases = [generate_data_case(seed + 1)] + edge_cases()
     for case in extra_cases:
         for algorithm in ALL_ALGORITHMS:
@@ -447,4 +473,10 @@ def wide_grid(seeds: Sequence[int]) -> List[Tuple[DataCase, ConfigCell]]:
                         algorithm, workers=workers, kernels=kernels,
                         backend="process",
                     )))
+        for estimate_error in ESTIMATE_ERROR_AXIS:
+            for workers in WORKER_AXIS:
+                grid.append((case, ConfigCell(
+                    "adaptive", workers=workers,
+                    estimate_error=estimate_error,
+                )))
     return grid
