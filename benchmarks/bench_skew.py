@@ -1,0 +1,24 @@
+"""Skew-resistant shuffle benchmark (thin wrapper).
+
+Like ``bench_adaptive.py`` the reported times are *simulated* seconds
+from the priced traces — deterministic, so ``--check`` gates on exact
+ratios: every cell must stay oracle-identical, and at ``key_skew=1.8``
+the hybrid shuffle must cut the p99/p50 worker-finish spread by at
+least 2x versus hash-only routing::
+
+    PYTHONPATH=src python benchmarks/bench_skew.py \
+        --out benchmarks/results/BENCH_skew.json
+
+    # CI smoke: heaviest skew cell only, gate on the checked-in baseline
+    PYTHONPATH=src python benchmarks/bench_skew.py --quick \
+        --check benchmarks/results/BENCH_skew.json
+
+See :mod:`repro.bench.skew` for what is measured.
+"""
+
+import sys
+
+from repro.bench.skew import main
+
+if __name__ == "__main__":
+    sys.exit(main())

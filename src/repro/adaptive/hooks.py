@@ -37,6 +37,12 @@ from typing import Iterator, Optional, Sequence
 #: The active adaptive context; flip only through :func:`adapting`.
 _CONTEXT = None
 
+#: The active heavy-hitter detector (skew plane); flip only through
+#: :func:`detecting_skew`.  Shares this module's observation seam so
+#: skew detection rides the same per-block hooks as the adaptive plane
+#: instead of adding a second pass over the scan.
+_SKEW_DETECTOR = None
+
 
 class SwitchSignal(Exception):
     """Raised out of an engine hot loop to abandon the incumbent plan.
@@ -70,6 +76,36 @@ def adapting(context) -> Iterator[None]:
         yield
     finally:
         _CONTEXT = previous
+
+
+def skew_detection_active() -> bool:
+    """True while a scan is feeding a heavy-hitter detector."""
+    return _SKEW_DETECTOR is not None
+
+
+@contextmanager
+def detecting_skew(detector) -> Iterator[None]:
+    """Arm the skew-detection hook for the duration of the block.
+
+    ``detector`` is a :class:`repro.skew.detector.HeavyHitterDetector`
+    (anything with an ``observe(keys)`` method); ``None`` makes the
+    context a no-op so call sites need no conditional.
+    """
+    global _SKEW_DETECTOR
+    previous = _SKEW_DETECTOR
+    _SKEW_DETECTOR = detector
+    try:
+        yield
+    finally:
+        _SKEW_DETECTOR = previous
+
+
+def record_scan_keys(keys) -> None:
+    """One scanned block's surviving join keys (called from the JEN
+    worker loop, right next to :func:`record_scan_block`)."""
+    if _SKEW_DETECTOR is None:
+        return
+    _SKEW_DETECTOR.observe(keys)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,247 @@
+"""Skew benchmark: worker-finish spread and e2e time, hybrid on/off.
+
+For each key skew in :data:`KEY_SKEWS` a Zipf-distributed workload is
+joined twice on identical data — hash-only shuffle (skew handling off)
+and the hybrid shuffle (heavy-hitter detection + bounded-fan-out split
++ straggler stealing) — and both runs are verified against the
+single-node oracle before anything is recorded.  Two numbers per run:
+
+* **spread** — p99/p50 of the per-worker local-join loads the engine
+  actually measured (``trace.metadata["join_slot_loads"]``), i.e. how
+  long the last worker runs past the median one;
+* **e2e_seconds** — simulated end-to-end seconds from the priced trace,
+  which includes everything the skew plane costs (probe-side hot-row
+  duplication, the steal transfers) as well as what it saves.
+
+All times are simulated and deterministic, so ``--check`` gates on
+ratios against the checked-in baseline plus one hard acceptance floor:
+at ``key_skew=1.8`` the hybrid shuffle must cut the p99/p50 spread by
+at least :data:`SPREAD_IMPROVEMENT_FLOOR` (2x)::
+
+    PYTHONPATH=src python benchmarks/bench_skew.py \
+        --out benchmarks/results/BENCH_skew.json
+
+    # CI smoke: heaviest skew cell only, gate on the baseline
+    PYTHONPATH=src python benchmarks/bench_skew.py --quick \
+        --check benchmarks/results/BENCH_skew.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import pathlib
+import sys
+from typing import Dict, List, Optional
+
+import numpy as np
+
+#: The skew axis: uniform, moderate Zipf, heavy Zipf (paper-style).
+KEY_SKEWS = (0.0, 1.2, 1.8)
+
+#: Shuffle-using algorithms measured in full mode; the first is the
+#: canonical repartition join the acceptance gate reads.
+ALGORITHMS = ("repartition", "zigzag")
+
+#: Hard acceptance floor: at key_skew=1.8 the hybrid shuffle must cut
+#: the p99/p50 worker-finish spread by at least this factor.
+SPREAD_IMPROVEMENT_FLOOR = 2.0
+
+#: JEN workers; skew only materialises with enough of them.
+WORKERS = 30
+
+#: Distinct join keys in the skewed cases (must match
+#: ``testkit.generator.skewed_case``).
+N_KEYS = 64
+
+
+def _spread(trace) -> float:
+    """p99/p50 of the measured per-worker local-join loads."""
+    loads = np.asarray(trace.metadata["join_slot_loads"], dtype=float)
+    return float(np.percentile(loads, 99) / max(np.percentile(loads, 50), 1))
+
+
+def _run_cell(key_skew: float, algorithm: str) -> Dict:
+    from repro import algorithm_by_name
+    from repro.skew import set_skew_handling_enabled
+    from repro.testkit import generator, oracle
+    from repro.workload.generator import zipf_skew_factor
+
+    case = generator.skewed_case(key_skew)
+    reference = case.oracle_rows()
+    warehouse = generator.build_cell_warehouse(case, WORKERS, "parquet")
+    # The hash-only run pays the analytic skew factor of the generated
+    # Zipf distribution; the hybrid run pays what it measures.
+    warehouse.config = dataclasses.replace(
+        warehouse.config,
+        shuffle_skew=zipf_skew_factor(key_skew, N_KEYS, WORKERS),
+    )
+    cell: Dict[str, object] = {
+        "key_skew": key_skew,
+        "workers": WORKERS,
+        "configured_skew": round(
+            zipf_skew_factor(key_skew, N_KEYS, WORKERS), 3),
+    }
+    for label, enabled in (("hash_only", False), ("hybrid", True)):
+        previous = set_skew_handling_enabled(enabled)
+        try:
+            run = algorithm_by_name(algorithm).run(warehouse, case.query)
+        finally:
+            set_skew_handling_enabled(previous)
+        diff = oracle.compare_tables(
+            run.result, reference,
+            label=f"{algorithm}/skew{key_skew:g}/{label}",
+        )
+        if diff is not None:
+            raise AssertionError(diff)
+        cell[label] = {
+            "spread_p99_p50": round(_spread(run.trace), 3),
+            "e2e_seconds": round(run.timing.total_seconds, 3),
+            "hot_keys_detected": int(run.stats.hot_keys_detected),
+            "hot_tuples_rerouted": int(run.stats.hot_tuples_rerouted),
+            "hot_tuples_broadcast": int(run.stats.hot_tuples_broadcast),
+            "stolen_tuples": int(run.stats.stolen_tuples),
+            "oracle_identical": True,
+        }
+    off = cell["hash_only"]
+    on = cell["hybrid"]
+    cell["spread_improvement"] = round(
+        off["spread_p99_p50"] / max(on["spread_p99_p50"], 1e-9), 3)
+    cell["e2e_speedup"] = round(
+        off["e2e_seconds"] / max(on["e2e_seconds"], 1e-9), 3)
+    return cell
+
+
+def run_skew_bench(quick: bool = False) -> Dict:
+    key_skews = KEY_SKEWS[-1:] if quick else KEY_SKEWS
+    algorithms = ALGORITHMS[:1] if quick else ALGORITHMS
+    results: Dict[str, Dict] = {}
+    for algorithm in algorithms:
+        results[algorithm] = {
+            f"{key_skew:g}": _run_cell(key_skew, algorithm)
+            for key_skew in key_skews
+        }
+    return {
+        "benchmark": "skew",
+        "mode": "quick" if quick else "full",
+        "workers": WORKERS,
+        "spread_floor_at_1.8": SPREAD_IMPROVEMENT_FLOOR,
+        "algorithms": results,
+    }
+
+
+def render(payload: Dict) -> str:
+    lines = [
+        f"skew-resistant shuffle benchmark ({payload['mode']} mode, "
+        f"{payload['workers']} JEN workers)",
+        "",
+    ]
+    header = (f"{'cell':<24} {'spread off':>10} {'spread on':>10} "
+              f"{'improve':>8} {'e2e off':>8} {'e2e on':>8} "
+              f"{'stolen':>7}")
+    lines += [header, "-" * len(header)]
+    for algorithm, cells in payload["algorithms"].items():
+        for key_skew, cell in cells.items():
+            off, on = cell["hash_only"], cell["hybrid"]
+            lines.append(
+                f"{algorithm + ' @ zipf ' + key_skew:<24} "
+                f"{off['spread_p99_p50']:>10.2f} "
+                f"{on['spread_p99_p50']:>10.2f} "
+                f"{cell['spread_improvement']:>7.1f}x "
+                f"{off['e2e_seconds']:>7.1f}s "
+                f"{on['e2e_seconds']:>7.1f}s "
+                f"{on['stolen_tuples']:>7d}"
+            )
+    return "\n".join(lines)
+
+
+def check_regression(current: Dict, baseline: Dict,
+                     allowed_factor: float = 2.0) -> List[str]:
+    """Ratio gates vs the checked-in baseline.
+
+    Simulated seconds are deterministic, but the gate is still
+    ratio-based so a deliberate re-pricing of an unrelated phase does
+    not trip it: a cell fails only when its spread improvement falls
+    below ``baseline_improvement / allowed_factor`` — or below the hard
+    :data:`SPREAD_IMPROVEMENT_FLOOR` at ``key_skew=1.8``, which is the
+    acceptance bar and does not soften with the baseline.
+    """
+    failures: List[str] = []
+    for algorithm, cells in current.get("algorithms", {}).items():
+        baseline_cells = baseline.get("algorithms", {}).get(algorithm, {})
+        for key_skew, cell in cells.items():
+            for mode in ("hash_only", "hybrid"):
+                if not cell[mode]["oracle_identical"]:
+                    failures.append(
+                        f"{algorithm}@{key_skew}/{mode}: diverged "
+                        "from the oracle")
+            improvement = float(cell["spread_improvement"])
+            if float(key_skew) >= 1.8 and \
+                    improvement < SPREAD_IMPROVEMENT_FLOOR:
+                failures.append(
+                    f"{algorithm}@{key_skew}: spread improvement "
+                    f"{improvement:.2f}x below the hard "
+                    f"{SPREAD_IMPROVEMENT_FLOOR:g}x floor")
+            base_cell = baseline_cells.get(key_skew)
+            if base_cell is None:
+                continue
+            base_improvement = float(base_cell["spread_improvement"])
+            floor = base_improvement / allowed_factor
+            # Uniform cells hover around 1x; only gate real headroom.
+            if base_improvement >= SPREAD_IMPROVEMENT_FLOOR and \
+                    improvement < floor:
+                failures.append(
+                    f"{algorithm}@{key_skew}: spread improvement "
+                    f"{improvement:.2f}x fell below {floor:.2f}x "
+                    f"(baseline {base_improvement:.2f}x / "
+                    f"{allowed_factor:g})")
+    return failures
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--out", help="write the JSON payload to this path")
+    parser.add_argument("--quick", action="store_true",
+                        help="heaviest skew cell only, for CI smoke runs")
+    parser.add_argument(
+        "--check", metavar="BASELINE",
+        help="gate spread-improvement ratios against a baseline JSON; "
+             "exit 1 on violation",
+    )
+    parser.add_argument("--allowed-factor", type=float, default=2.0,
+                        help="regression tolerance for --check")
+
+
+def run_from_args(args) -> int:
+    payload = run_skew_bench(quick=args.quick)
+    print(render(payload))
+    if args.out:
+        out = pathlib.Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote {out}")
+    if args.check:
+        baseline = json.loads(pathlib.Path(args.check).read_text())
+        failures = check_regression(
+            payload, baseline, allowed_factor=args.allowed_factor)
+        if failures:
+            print("\nskew-plane regressions:", file=sys.stderr)
+            for line in failures:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"\nall spread gates hold vs {args.check} "
+              f"(tolerance {args.allowed_factor:g}x)")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.skew",
+        description="Hybrid shuffle vs hash-only on skewed workloads",
+    )
+    add_arguments(parser)
+    return run_from_args(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -108,6 +108,23 @@ class JoinAdvisor:
     # JoinCosting primitives as the real traces, composed with the same
     # overlap structure (max() where the engines pipeline).
     # ------------------------------------------------------------------
+    def _shuffle_skew(self) -> float:
+        """Skew multiplier the HDFS-side shuffle/build estimates pay.
+
+        Mirrors the executed algorithms: the configured analytic factor,
+        capped by :meth:`JoinCosting.effective_shuffle_skew` when the
+        skew plane is on (the hybrid shuffle spreads the hot keys, so
+        the advisor must not over-penalise the repartition family).  No
+        measured balance exists at planning time, so the cap is the
+        constant :data:`~repro.core.joins.costing.HYBRID_SHUFFLE_SKEW_CAP`.
+        """
+        from repro.skew import skew_handling_enabled
+
+        return self._costing.effective_shuffle_skew(
+            max(1.0, self.config.shuffle_skew),
+            hybrid=skew_handling_enabled(),
+        )
+
     def _common(self, est: WorkloadEstimate):
         c = self._costing
         t_prime = est.t_rows * est.sigma_t
@@ -127,8 +144,9 @@ class JoinAdvisor:
         if use_bloom:
             shuffled = l_prime * min(1.0, est.s_l + est.bloom_fpr)
             bloom_cost = c.bloom_to_jen_seconds()
-        shuffle = c.jen_shuffle_seconds(shuffled, est.l_wire_bytes)
-        build = c.hash_build_seconds(shuffled)
+        skew = self._shuffle_skew()
+        shuffle = c.jen_shuffle_seconds(shuffled, est.l_wire_bytes, skew=skew)
+        build = c.hash_build_seconds(shuffled, skew=skew)
         export = c.db_export_seconds(t_prime, est.t_wire_bytes)
         output = self._join_output(est)
         tail = (c.probe_seconds(t_prime, output)
@@ -142,8 +160,9 @@ class JoinAdvisor:
         c, t_prime, l_prime, scan, db_filter = self._common(est)
         shuffled = l_prime * min(1.0, est.s_l + est.bloom_fpr)
         t_sent = t_prime * min(1.0, est.s_t + est.bloom_fpr)
-        shuffle = c.jen_shuffle_seconds(shuffled, est.l_wire_bytes)
-        build = c.hash_build_seconds(shuffled)
+        skew = self._shuffle_skew()
+        shuffle = c.jen_shuffle_seconds(shuffled, est.l_wire_bytes, skew=skew)
+        build = c.hash_build_seconds(shuffled, skew=skew)
         output = self._join_output(est)
         tail = (c.probe_seconds(t_sent, output)
                 + c.jen_aggregate_seconds(output))

@@ -55,10 +55,22 @@ class JoinStats:
     #: Partial scan output lost to injected worker crashes (wasted work,
     #: not double-counted in ``hdfs_rows_scanned``).
     hdfs_rows_discarded: float = 0.0
+    #: Heavy-hitter join keys the skew plane detected.  Not rescaled (a
+    #: key count, not a tuple volume).
+    hot_keys_detected: float = 0.0
+    #: Build-side (L) rows spread off the agreed hash by the hybrid
+    #: shuffle.
+    hot_tuples_rerouted: float = 0.0
+    #: Probe-side (T′) rows broadcast to every JEN worker (counted
+    #: once; the trace's ``db_broadcast_hot`` phase carries the copies).
+    hot_tuples_broadcast: float = 0.0
+    #: Build + probe rows re-dealt across workers by work stealing.
+    stolen_tuples: float = 0.0
 
     def scaled(self, multiplier: float) -> "JoinStats":
         """Counts multiplied up to paper scale (Bloom bytes unchanged)."""
-        unscaled = {"bloom_bytes_moved", "db_send_copies"}
+        unscaled = {"bloom_bytes_moved", "db_send_copies",
+                    "hot_keys_detected"}
         values: Dict[str, float] = {}
         for spec in fields(self):
             value = getattr(self, spec.name)
@@ -163,6 +175,78 @@ class JoinAlgorithm:
         if budget <= 0:
             return 0.0
         return budget * warehouse.config.scale
+
+    # ------------------------------------------------------------------
+    # Skew plane (shared by the shuffle-using algorithms)
+    # ------------------------------------------------------------------
+    def _effective_shuffle_skew(self, warehouse, costing, shuffled,
+                                hot_keys) -> float:
+        """The shuffle-skew multiplier this run's trace should pay.
+
+        ``hot_keys is None`` means skew handling is off — pay the
+        configured analytic factor exactly as before.  With handling on
+        (even when detection found nothing hot) the hybrid shuffle ran,
+        so the factor is capped at the *measured* receiver balance.
+        """
+        configured = max(1.0, warehouse.config.shuffle_skew)
+        if hot_keys is None:
+            return configured
+        return costing.effective_shuffle_skew(
+            configured, hybrid=True, measured=shuffled.balance_factor()
+        )
+
+    def _record_hot_shuffle(self, stats: JoinStats, trace, hot_keys,
+                            shuffled) -> None:
+        """Account the hybrid shuffle's detection and L-side spread."""
+        trace.metadata["shuffle_partition_rows"] = [
+            table.num_rows for table in shuffled.per_destination
+        ]
+        if hot_keys is None:
+            return
+        stats.hot_keys_detected = float(len(hot_keys))
+        stats.hot_tuples_rerouted = float(shuffled.hot_tuples)
+
+    def _add_steal_and_build_phases(self, costing, trace,
+                                    stats: JoinStats, join_stats,
+                                    shuffled, row_bytes: float,
+                                    shuffle_skew: float,
+                                    description: str) -> None:
+        """Emit ``work_steal`` (if any) and ``hash_build`` phases.
+
+        Called *after* the local joins ran so the build can be priced
+        with the post-steal balance: stolen fragments move first (a
+        transfer overlapped with the shuffle), then every worker builds
+        its now-balanced share.  Without stealing this emits exactly
+        the pre-skew-plane ``hash_build`` phase.
+        """
+        build_gate = ["jen_shuffle"]
+        build_skew = shuffle_skew
+        if join_stats.stolen_tuples > 0:
+            stats.stolen_tuples = float(join_stats.stolen_tuples)
+            trace.add("work_steal", "shuffle",
+                      costing.work_steal_seconds(
+                          join_stats.stolen_tuples, row_bytes
+                      ),
+                      streams_from=["jen_shuffle"],
+                      description="re-deal straggler join fragments to "
+                                  "idle workers",
+                      tuples=join_stats.stolen_tuples,
+                      volume_bytes=join_stats.stolen_tuples * row_bytes)
+            build_gate = ["jen_shuffle", "work_steal"]
+            build_skew = min(
+                build_skew, max(1.0, join_stats.post_steal_balance)
+            )
+        trace.add("hash_build", "cpu",
+                  costing.hash_build_seconds(
+                      shuffled.tuples_shuffled, skew=build_skew
+                  ),
+                  streams_from=build_gate,
+                  description=description,
+                  tuples=shuffled.tuples_shuffled)
+        if join_stats.per_slot_loads is not None:
+            trace.metadata["join_slot_loads"] = list(
+                join_stats.per_slot_loads
+            )
 
     def _add_spill_phase(self, costing, trace, stats: JoinStats,
                          join_stats, row_bytes: float, gate):

@@ -17,6 +17,12 @@ from repro.config import HybridConfig
 from repro.net.topology import HybridTopology, default_topology
 from repro.net.transfer import shuffle_seconds
 
+#: Residual receiver imbalance a hybrid shuffle still pays when no
+#: measured balance is available: the cold tail is hash-balanced and the
+#: hot keys are spread/broadcast, so the hottest receiver ends within
+#: ~50% of the mean regardless of how extreme the key distribution is.
+HYBRID_SHUFFLE_SKEW_CAP = 1.5
+
 
 class JoinCosting:
     """Converts raw data-plane volumes into simulated phase durations."""
@@ -201,6 +207,53 @@ class JoinCosting:
             volume, self.topology, self._n, self.cost.shuffle_bytes_per_s
         )
         return balanced * max(1.0, skew)
+
+    def effective_shuffle_skew(self, configured: float,
+                               hybrid: bool = False,
+                               measured: Optional[float] = None) -> float:
+        """The skew multiplier the shuffle/build phases actually pay.
+
+        Hash-only runs pay the configured (analytic) factor — the
+        hottest key's whole mass lands on one receiver.  A hybrid
+        shuffle spreads that mass, so the factor is capped: at the
+        *measured* receiver balance of the data plane when available,
+        else at :data:`HYBRID_SHUFFLE_SKEW_CAP`.  The measured cap is
+        honest both ways — a run whose detection missed (measured high)
+        pays what it measured, never the optimistic constant.
+        """
+        configured = max(1.0, configured)
+        if not hybrid:
+            return configured
+        cap = (
+            max(1.0, measured) if measured is not None
+            else HYBRID_SHUFFLE_SKEW_CAP
+        )
+        return min(configured, cap)
+
+    def jen_duplicate_seconds(self, raw_tuples: float,
+                              row_bytes: float) -> float:
+        """Extra hot-key probe-row copies relayed inside the JEN cluster.
+
+        The first copy of a hot T row crosses the inter-cluster link on
+        the agreed hash like any other row (priced in ``db_export``);
+        the key's home worker then re-sends it to the other workers of
+        the key's spread set over the HDFS-side NICs — the cheap link,
+        which is the whole point of relaying instead of asking the DB
+        to export every copy.
+        """
+        volume = raw_tuples * self.scale_up * row_bytes
+        return volume / self.topology.hdfs.nic_bytes_per_s
+
+    def work_steal_seconds(self, raw_tuples: float,
+                           row_bytes: float) -> float:
+        """Straggler fragments re-dealt worker-to-worker (skew plane).
+
+        Stolen work moves point-to-point over the HDFS-side NICs — the
+        straggler streams its surplus fragments out while the idle
+        workers receive, so the transfer is bounded by one NIC.
+        """
+        volume = raw_tuples * self.scale_up * row_bytes
+        return volume / self.topology.hdfs.nic_bytes_per_s
 
     def hash_build_seconds(self, raw_tuples: float,
                            per_worker_full_copy: bool = False,

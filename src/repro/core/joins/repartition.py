@@ -18,7 +18,9 @@ Steps (Figure 3):
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Tuple
+
+import numpy as np
 
 from repro.core.joins.base import (
     JoinAlgorithm,
@@ -28,6 +30,7 @@ from repro.core.joins.base import (
 )
 from repro.relational.table import Table
 from repro.sim.trace import Trace
+from repro.testkit import invariants
 from repro.query.query import HybridQuery
 
 
@@ -73,10 +76,16 @@ class RepartitionJoin(JoinAlgorithm):
             warehouse, query, costing, trace, stats, scan_gate,
             db_bloom=db_bloom,
         )
-        shuffled = jen.shuffle_by_key(scan.wire_tables, query.hdfs_join_key)
+        hot_keys = scan.hot_keys
+        shuffled = jen.shuffle_by_key(scan.wire_tables,
+                                      query.hdfs_join_key,
+                                      hot_keys=hot_keys)
         stats.hdfs_tuples_shuffled = shuffled.tuples_shuffled
+        self._record_hot_shuffle(stats, trace, hot_keys, shuffled)
         l_wire_bytes = self._wire_row_bytes(scan.wire_tables)
-        shuffle_skew = max(1.0, warehouse.config.shuffle_skew)
+        shuffle_skew = self._effective_shuffle_skew(
+            warehouse, costing, shuffled, hot_keys
+        )
         trace.add("jen_shuffle", "shuffle",
                   costing.jen_shuffle_seconds(
                       shuffled.tuples_shuffled, l_wire_bytes,
@@ -85,25 +94,34 @@ class RepartitionJoin(JoinAlgorithm):
                   streams_from=["hdfs_scan"],
                   description="agreed-hash shuffle of L' among JEN workers",
                   tuples=shuffled.tuples_shuffled)
-        trace.add("hash_build", "cpu",
-                  costing.hash_build_seconds(
-                      shuffled.tuples_shuffled, skew=shuffle_skew
-                  ),
-                  streams_from=["jen_shuffle"],
-                  description="build hash tables on received L' rows",
-                  tuples=shuffled.tuples_shuffled)
 
         # -- Step 2 (concurrent): ship T' by the agreed hash -------------
-        t_dest = _route_db_rows(t_parts, query.db_join_key, jen.num_workers)
+        t_dest, hot_t_tuples, hot_copy_tuples = _route_db_rows(
+            t_parts, query.db_join_key, jen.num_workers, hot_keys=hot_keys
+        )
         t_tuples = sum(part.num_rows for part in t_parts)
         t_wire_bytes = t_parts[0].row_bytes()
         stats.db_tuples_sent = t_tuples
+        stats.hot_tuples_broadcast += hot_copy_tuples
         trace.add("db_export", "transfer",
                   costing.db_export_seconds(t_tuples, t_wire_bytes),
                   after=["db_filter"],
                   description="DB workers send T' via agreed hash",
                   tuples=t_tuples,
                   volume_bytes=t_tuples * t_wire_bytes)
+        export_names = ["db_export"]
+        extra_hot_copies = hot_copy_tuples - hot_t_tuples
+        if extra_hot_copies > 0:
+            trace.add("jen_hot_relay", "transfer",
+                      costing.jen_duplicate_seconds(
+                          extra_hot_copies, t_wire_bytes
+                      ),
+                      streams_from=["db_export"],
+                      description="home workers relay hot-key T' rows "
+                                  "to their spread worker sets",
+                      tuples=extra_hot_copies,
+                      volume_bytes=extra_hot_copies * t_wire_bytes)
+            export_names.append("jen_hot_relay")
 
         # -- Steps 4-6: probe, aggregate, return -------------------------
         result, join_stats = jen.join_and_aggregate(
@@ -112,6 +130,11 @@ class RepartitionJoin(JoinAlgorithm):
         )
         stats.join_output_tuples = join_stats.join_output_tuples
         stats.result_rows = join_stats.result_rows
+        self._add_steal_and_build_phases(
+            costing, trace, stats, join_stats, shuffled, l_wire_bytes,
+            shuffle_skew,
+            description="build hash tables on received L' rows",
+        )
         probe_gate = self._add_spill_phase(
             costing, trace, stats, join_stats, l_wire_bytes,
             ["hash_build"],
@@ -121,7 +144,7 @@ class RepartitionJoin(JoinAlgorithm):
                       t_tuples, join_stats.join_output_tuples
                   ),
                   after=probe_gate,
-                  streams_from=["db_export"],
+                  streams_from=export_names,
                   description="probe with database rows",
                   tuples=t_tuples)
         trace.add("aggregate", "cpu",
@@ -139,13 +162,50 @@ class RepartitionJoin(JoinAlgorithm):
 
 
 def _route_db_rows(t_parts: List[Table], key: str,
-                   num_jen_workers: int) -> List[Table]:
-    """Regroup DB workers' outgoing rows by the agreed hash destination."""
+                   num_jen_workers: int,
+                   hot_keys=None) -> Tuple[List[Table], int, int]:
+    """Regroup DB workers' outgoing rows by the agreed hash destination.
+
+    With a :class:`repro.skew.HotKeySet` (the hybrid shuffle), rows of
+    a detected heavy-hitter key are *duplicated* to that key's bounded
+    destination set — one copy per worker that holds a spread slice of
+    the matching build-side rows; the cold tail keeps the agreed hash.
+    Returns the per-destination tables, the number of hot rows (each
+    counted once), and the total delivered hot copies (what the
+    duplication actually costs on the wire).
+    """
+    from repro.edw.partitioner import agreed_hash_partition
     from repro.edw.worker import DbWorker
 
+    use_hybrid = hot_keys is not None and len(hot_keys) > 0
     per_destination: List[List[Table]] = [[] for _ in range(num_jen_workers)]
+    hot_tuples = 0
+    copy_tuples = 0
+    dest_lists = (
+        hot_keys.destination_lists(num_jen_workers, agreed_hash_partition)
+        if use_hybrid else []
+    )
     for part in t_parts:
-        routed = DbWorker.partition_for_send(part, key, num_jen_workers)
+        cold = part
+        if use_hybrid:
+            keys_column = part.column(key)
+            cold = part.filter(~np.isin(keys_column, hot_keys.keys))
+            for hot_key, dests in zip(hot_keys.keys, dest_lists):
+                hot_rows = part.filter(keys_column == hot_key)
+                if hot_rows.num_rows == 0:
+                    continue
+                hot_tuples += hot_rows.num_rows
+                copy_tuples += hot_rows.num_rows * int(dests.size)
+                for destination in dests:
+                    per_destination[int(destination)].append(hot_rows)
+        routed = DbWorker.partition_for_send(cold, key, num_jen_workers)
         for destination, piece in enumerate(routed):
             per_destination[destination].append(piece)
-    return [Table.concat(pieces) for pieces in per_destination]
+    destinations = [Table.concat(pieces) for pieces in per_destination]
+    if use_hybrid and invariants.checking_enabled():
+        invariants.check_broadcast_routing(
+            t_parts, key, destinations, num_jen_workers,
+            agreed_hash_partition, hot_keys.keys,
+            fanouts=hot_keys.fanouts,
+        )
+    return destinations, hot_tuples, copy_tuples

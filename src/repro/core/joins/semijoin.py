@@ -83,10 +83,15 @@ class _ExactFilterJoin(JoinAlgorithm):
             for wire in scan.wire_tables
         ]
         stats.hdfs_rows_after_bloom = sum(p.num_rows for p in pruned)
-        shuffled = jen.shuffle_by_key(pruned, query.hdfs_join_key)
+        hot_keys = scan.hot_keys
+        shuffled = jen.shuffle_by_key(pruned, query.hdfs_join_key,
+                                      hot_keys=hot_keys)
         stats.hdfs_tuples_shuffled = shuffled.tuples_shuffled
+        self._record_hot_shuffle(stats, trace, hot_keys, shuffled)
         l_wire_bytes = self._wire_row_bytes(scan.wire_tables)
-        shuffle_skew = max(1.0, warehouse.config.shuffle_skew)
+        shuffle_skew = self._effective_shuffle_skew(
+            warehouse, costing, shuffled, hot_keys
+        )
         trace.add("jen_shuffle", "shuffle",
                   costing.jen_shuffle_seconds(
                       shuffled.tuples_shuffled, l_wire_bytes,
@@ -94,11 +99,6 @@ class _ExactFilterJoin(JoinAlgorithm):
                   ),
                   streams_from=["hdfs_scan"],
                   description="agreed-hash shuffle of exactly pruned L'")
-        trace.add("hash_build", "cpu",
-                  costing.hash_build_seconds(
-                      shuffled.tuples_shuffled, skew=shuffle_skew
-                  ),
-                  streams_from=["jen_shuffle"])
 
         if self.two_way:
             outgoing, export_gate = self._perf_second_phase(
@@ -107,8 +107,13 @@ class _ExactFilterJoin(JoinAlgorithm):
         else:
             outgoing, export_gate = t_parts, ["db_filter"]
 
+        t_dest, hot_t_tuples, hot_copy_tuples = _route_db_rows(
+            outgoing, query.db_join_key, jen.num_workers,
+            hot_keys=hot_keys,
+        )
         t_tuples = sum(part.num_rows for part in outgoing)
         stats.db_tuples_sent = t_tuples
+        stats.hot_tuples_broadcast += hot_copy_tuples
         trace.add("db_export", "transfer",
                   costing.db_export_seconds(
                       t_tuples, t_parts[0].row_bytes()
@@ -116,8 +121,18 @@ class _ExactFilterJoin(JoinAlgorithm):
                   after=export_gate,
                   tuples=t_tuples,
                   description="DB workers send their rows via agreed hash")
-        t_dest = _route_db_rows(outgoing, query.db_join_key,
-                                jen.num_workers)
+        export_names = ["db_export"]
+        extra_hot_copies = hot_copy_tuples - hot_t_tuples
+        if extra_hot_copies > 0:
+            trace.add("jen_hot_relay", "transfer",
+                      costing.jen_duplicate_seconds(
+                          extra_hot_copies, t_parts[0].row_bytes()
+                      ),
+                      streams_from=["db_export"],
+                      tuples=extra_hot_copies,
+                      description="home workers relay hot-key rows to "
+                                  "their spread worker sets")
+            export_names.append("jen_hot_relay")
 
         result, join_stats = jen.join_and_aggregate(
             shuffled.per_destination, t_dest, query,
@@ -125,6 +140,11 @@ class _ExactFilterJoin(JoinAlgorithm):
         )
         stats.join_output_tuples = join_stats.join_output_tuples
         stats.result_rows = join_stats.result_rows
+        self._add_steal_and_build_phases(
+            costing, trace, stats, join_stats, shuffled, l_wire_bytes,
+            shuffle_skew,
+            description="build hash tables on received pruned L' rows",
+        )
         probe_gate = self._add_spill_phase(
             costing, trace, stats, join_stats, l_wire_bytes,
             ["hash_build"],
@@ -133,7 +153,7 @@ class _ExactFilterJoin(JoinAlgorithm):
                   costing.probe_seconds(
                       t_tuples, join_stats.join_output_tuples
                   ),
-                  after=probe_gate, streams_from=["db_export"])
+                  after=probe_gate, streams_from=export_names)
         trace.add("aggregate", "cpu",
                   costing.jen_aggregate_seconds(
                       join_stats.join_output_tuples

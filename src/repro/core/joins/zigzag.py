@@ -68,10 +68,16 @@ class ZigzagJoin(JoinAlgorithm):
             db_bloom=db_bloom,
             build_local_blooms=True,
         )
-        shuffled = jen.shuffle_by_key(scan.wire_tables, query.hdfs_join_key)
+        hot_keys = scan.hot_keys
+        shuffled = jen.shuffle_by_key(scan.wire_tables,
+                                      query.hdfs_join_key,
+                                      hot_keys=hot_keys)
         stats.hdfs_tuples_shuffled = shuffled.tuples_shuffled
+        self._record_hot_shuffle(stats, trace, hot_keys, shuffled)
         l_wire_bytes = self._wire_row_bytes(scan.wire_tables)
-        shuffle_skew = max(1.0, warehouse.config.shuffle_skew)
+        shuffle_skew = self._effective_shuffle_skew(
+            warehouse, costing, shuffled, hot_keys
+        )
         trace.add("jen_shuffle", "shuffle",
                   costing.jen_shuffle_seconds(
                       shuffled.tuples_shuffled, l_wire_bytes,
@@ -79,13 +85,6 @@ class ZigzagJoin(JoinAlgorithm):
                   ),
                   streams_from=["hdfs_scan"],
                   description="agreed-hash shuffle of doubly filtered L''",
-                  tuples=shuffled.tuples_shuffled)
-        trace.add("hash_build", "cpu",
-                  costing.hash_build_seconds(
-                      shuffled.tuples_shuffled, skew=shuffle_skew
-                  ),
-                  streams_from=["jen_shuffle"],
-                  description="build hash tables on received L'' rows",
                   tuples=shuffled.tuples_shuffled)
 
         # -- Step 4: merge BF_H, send to the database ---------------------
@@ -116,13 +115,30 @@ class ZigzagJoin(JoinAlgorithm):
                   description="apply BF_H to T' (index-assisted)",
                   tuples=t_prime_tuples)
         t_wire_bytes = t_parts[0].row_bytes()
+        t_dest, hot_t_tuples, hot_copy_tuples = _route_db_rows(
+            t_pruned, query.db_join_key, jen.num_workers,
+            hot_keys=hot_keys,
+        )
+        stats.hot_tuples_broadcast += hot_copy_tuples
         trace.add("db_export", "transfer",
                   costing.db_export_seconds(t_tuples, t_wire_bytes),
                   streams_from=["db_second_access"],
                   description="DB workers send T'' via agreed hash",
                   tuples=t_tuples,
                   volume_bytes=t_tuples * t_wire_bytes)
-        t_dest = _route_db_rows(t_pruned, query.db_join_key, jen.num_workers)
+        export_names = ["db_export"]
+        extra_hot_copies = hot_copy_tuples - hot_t_tuples
+        if extra_hot_copies > 0:
+            trace.add("jen_hot_relay", "transfer",
+                      costing.jen_duplicate_seconds(
+                          extra_hot_copies, t_wire_bytes
+                      ),
+                      streams_from=["db_export"],
+                      description="home workers relay hot-key T'' rows "
+                                  "to their spread worker sets",
+                      tuples=extra_hot_copies,
+                      volume_bytes=extra_hot_copies * t_wire_bytes)
+            export_names.append("jen_hot_relay")
 
         # -- Steps 7-9: probe, aggregate, return --------------------------
         result, join_stats = jen.join_and_aggregate(
@@ -131,6 +147,11 @@ class ZigzagJoin(JoinAlgorithm):
         )
         stats.join_output_tuples = join_stats.join_output_tuples
         stats.result_rows = join_stats.result_rows
+        self._add_steal_and_build_phases(
+            costing, trace, stats, join_stats, shuffled, l_wire_bytes,
+            shuffle_skew,
+            description="build hash tables on received L'' rows",
+        )
         probe_gate = self._add_spill_phase(
             costing, trace, stats, join_stats, l_wire_bytes,
             ["hash_build"],
@@ -140,7 +161,7 @@ class ZigzagJoin(JoinAlgorithm):
                       t_tuples, join_stats.join_output_tuples
                   ),
                   after=probe_gate,
-                  streams_from=["db_export"],
+                  streams_from=export_names,
                   description="probe with doubly filtered database rows",
                   tuples=t_tuples)
         trace.add("aggregate", "cpu",

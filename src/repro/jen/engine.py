@@ -43,6 +43,9 @@ class DistributedScanResult:
     wire_tables: List[Table]
     stats: ScanStats
     local_blooms: Optional[List[BloomFilter]] = None
+    #: Heavy-hitter join keys detected during the scan (sorted int64
+    #: array, possibly empty); ``None`` when skew handling is off.
+    hot_keys: Optional[object] = None
 
     def global_bloom(self) -> BloomFilter:
         """Merge the per-worker Bloom filters (zigzag step 3b/4)."""
@@ -64,6 +67,15 @@ class LocalJoinStats:
     spilled_tuples: int = 0
     #: Largest fragment count any worker needed.
     max_fragments: int = 1
+    #: Build + probe rows re-dealt to other workers by work stealing.
+    stolen_tuples: int = 0
+    #: max/mean per-worker join load before and after stealing
+    #: (1.0 both when stealing never armed or never triggered).
+    pre_steal_balance: float = 1.0
+    post_steal_balance: float = 1.0
+    #: Per-worker build + probe rows after any stealing (the sequential
+    #: path fills this; the bench derives worker-finish spread from it).
+    per_slot_loads: Optional[List[int]] = None
 
 
 class Jen:
@@ -223,6 +235,7 @@ class Jen:
         try:
             from repro import parallel
 
+            detector = self._skew_detector(request)
             if injector is not None:
                 # Deterministic fault replay needs the sequential work
                 # queue, so the process backend only handles fault-free
@@ -233,6 +246,12 @@ class Jen:
                 # the fused parallel scan has no per-block seam to
                 # interrupt.
                 parallel.record_fallback("jen.scan", "adaptive-active")
+            elif detector is not None:
+                # Heavy-hitter detection rides the per-block scan hooks,
+                # which the fused parallel scan bypasses (and its
+                # pre-partitioned shuffle stash assumes a pure agreed
+                # hash, which a hybrid shuffle would invalidate).
+                parallel.record_fallback("jen.scan", "skew-handling")
             else:
                 result = self._try_parallel_scan(
                     meta, request, db_bloom, build_local_blooms,
@@ -240,12 +259,30 @@ class Jen:
                 )
                 if result is not None:
                     return result
-            return self._run_scan_queue(
-                meta, request, db_bloom, build_local_blooms, bloom_seed,
-                injector,
-            )
+            with adaptive_hooks.detecting_skew(detector):
+                result = self._run_scan_queue(
+                    meta, request, db_bloom, build_local_blooms,
+                    bloom_seed, injector,
+                )
+            if detector is not None:
+                result.hot_keys = detector.hot_key_set()
+            return result
         finally:
             self._scan_depth -= 1
+
+    def _skew_detector(self, request: ScanRequest):
+        """A fresh heavy-hitter detector, or ``None`` when not needed.
+
+        Detection is pointless without a join key to observe or with a
+        single worker (nothing to balance).
+        """
+        from repro import skew as skew_plane
+
+        if not skew_plane.skew_handling_enabled():
+            return None
+        if request.join_key is None or self.num_workers <= 1:
+            return None
+        return skew_plane.HeavyHitterDetector(self.num_workers)
 
     def _try_parallel_scan(
         self,
@@ -434,14 +471,21 @@ class Jen:
             injector.record_straggler(worker.worker_id, factor, backup)
 
     # ------------------------------------------------------------------
-    def shuffle_by_key(self, wire_tables: List[Table],
-                       key: str) -> ShuffleResult:
+    def shuffle_by_key(self, wire_tables: List[Table], key: str,
+                       hot_keys=None) -> ShuffleResult:
         """All-to-all shuffle of the wire tables on the agreed hash.
 
         With an armed fault plan: workers crashing at shuffle time lose
         their filtered rows, which a survivor re-produces (charged as a
         recovery re-scan) before the exchange runs over the remaining
         workers; individual messages go through retry/dedup delivery.
+
+        A non-empty ``hot_keys`` array switches to the hybrid split:
+        rows of detected heavy-hitter keys are dealt round-robin across
+        all (surviving) workers instead of hashing onto one receiver,
+        while the cold tail keeps the agreed hash.  Delivery — retries,
+        dedup, exactly-once accounting — is identical either way; only
+        the outgoing matrix construction changes.
         """
         injector = self._active_injector()
         wire_tables = list(wire_tables)
@@ -449,6 +493,19 @@ class Jen:
             injector.check_abort("shuffle")
             if len(wire_tables) == len(self.workers):
                 wire_tables = self._shuffle_crashes(wire_tables, injector)
+        if hot_keys is not None and len(hot_keys) > 0:
+            hot_tuples = 0
+            outgoing = []
+            for sender, wire in enumerate(wire_tables):
+                parts, sender_hot = JenWorker.partition_for_hybrid_shuffle(
+                    wire, key, self.num_workers, hot_keys,
+                    sender_offset=sender,
+                )
+                hot_tuples += sender_hot
+                outgoing.append(parts)
+            result = shuffle(outgoing, faults=injector)
+            result.hot_tuples = hot_tuples
+            return result
         stashed = self._consume_shuffle_stash(wire_tables, key, injector)
         if stashed is not None:
             return shuffle(stashed, faults=None)
@@ -556,6 +613,10 @@ class Jen:
             # cross-query index provider (the cache lives coordinator-
             # side and cannot be shared with pool workers).
             parallel.record_fallback("jen.join", "build-index-provider")
+        elif self._wants_work_stealing():
+            # Work stealing re-deals fragments across slots, which the
+            # per-slot process tasks cannot express.
+            parallel.record_fallback("jen.join", "skew-handling")
         elif parallel.parallel_enabled():
             from repro.parallel.join import parallel_join_and_aggregate
 
@@ -571,40 +632,125 @@ class Jen:
         from repro.kernels.joinindex import JoinBuildIndex
 
         stats = LocalJoinStats()
+        # One work unit per worker to start with; the skew plane may
+        # fragment straggler units and re-deal the pieces.
+        work_lists: List[List[Tuple[Table, Table]]] = [
+            [(l_part, t_part)]
+            for l_part, t_part in zip(l_parts, t_parts)
+        ]
+        self._steal_stragglers(work_lists, query, stats)
+        stats.per_slot_loads = [
+            sum(l_unit.num_rows + t_unit.num_rows
+                for l_unit, t_unit in units)
+            for units in work_lists
+        ]
         partials: List[Table] = []
-        for slot, (l_part, t_part) in enumerate(zip(l_parts, t_parts)):
-            plan = plan_spill(
-                l_part.num_rows, t_part.num_rows, memory_budget_rows
-            )
-            stats.spilled_tuples += plan.spilled_tuples()
-            stats.max_fragments = max(stats.max_fragments,
-                                      plan.num_fragments)
-            build_index = None
-            if not plan.spilled and kernels_enabled():
-                # Sort the worker's build side once and reuse the index
-                # for the probe (and, via an installed provider, across
-                # queries whose build side is unchanged).  Spilling
-                # workers fragment the build, so whole-side indexes do
-                # not apply there.
-                build_keys = l_part.column(query.hdfs_join_key)
-                if self.build_index_provider is not None:
-                    build_index = self.build_index_provider(slot, build_keys)
-                else:
-                    build_index = JoinBuildIndex(build_keys)
+        for slot, units in enumerate(work_lists):
             worker_partials: List[Table] = []
-            for build_frag, probe_frag in fragment_tables(
-                l_part, t_part, query.hdfs_join_key, query.db_join_key,
-                plan.num_fragments,
-            ):
-                joined = local_join(probe_frag, build_frag, query,
-                                    build_index=build_index)
-                stats.join_output_tuples += joined.num_rows
-                worker_partials.append(
-                    local_partial_aggregate(joined, query)
+            for l_part, t_part in units:
+                plan = plan_spill(
+                    l_part.num_rows, t_part.num_rows, memory_budget_rows
                 )
-            stats.build_tuples += l_part.num_rows
-            stats.probe_tuples += t_part.num_rows
+                stats.spilled_tuples += plan.spilled_tuples()
+                stats.max_fragments = max(stats.max_fragments,
+                                          plan.num_fragments)
+                build_index = None
+                if not plan.spilled and kernels_enabled():
+                    # Sort the worker's build side once and reuse the
+                    # index for the probe (and, via an installed
+                    # provider, across queries whose build side is
+                    # unchanged).  Spilling workers fragment the build,
+                    # so whole-side indexes do not apply there; a
+                    # stolen fragment is not the slot's canonical build
+                    # side, so it never enters the cross-query cache.
+                    build_keys = l_part.column(query.hdfs_join_key)
+                    if self.build_index_provider is not None \
+                            and len(units) == 1:
+                        build_index = self.build_index_provider(
+                            slot, build_keys
+                        )
+                    else:
+                        build_index = JoinBuildIndex(build_keys)
+                for build_frag, probe_frag in fragment_tables(
+                    l_part, t_part, query.hdfs_join_key,
+                    query.db_join_key, plan.num_fragments,
+                ):
+                    joined = local_join(probe_frag, build_frag, query,
+                                        build_index=build_index)
+                    stats.join_output_tuples += joined.num_rows
+                    worker_partials.append(
+                        local_partial_aggregate(joined, query)
+                    )
+                stats.build_tuples += l_part.num_rows
+                stats.probe_tuples += t_part.num_rows
             partials.append(final_aggregate(worker_partials, query))
         result = final_aggregate(partials, query)
         stats.result_rows = result.num_rows
         return result, stats
+
+    def _wants_work_stealing(self) -> bool:
+        """True when the skew plane may re-deal join work here."""
+        from repro import skew as skew_plane
+
+        return skew_plane.skew_handling_enabled() and self.num_workers > 1
+
+    def _steal_stragglers(
+        self,
+        work_lists: List[List[Tuple[Table, Table]]],
+        query: HybridQuery,
+        stats: LocalJoinStats,
+    ) -> None:
+        """Re-deal straggler join partitions across workers (in place).
+
+        Partial aggregation is commutative and the fragmenting is
+        key-aligned (the same machinery spill uses), so the final
+        aggregate is bit-identical no matter which worker executes a
+        fragment — only the load distribution changes.
+        """
+        from repro import skew as skew_plane
+
+        if not skew_plane.skew_handling_enabled() or self.num_workers <= 1:
+            return
+        from repro.jen.scheduler import plan_work_stealing
+        from repro.jen.spill import fragment_tables
+
+        originals = [units[0] for units in work_lists]
+        plan = plan_work_stealing(
+            [l_part.num_rows + t_part.num_rows
+             for l_part, t_part in originals],
+            threshold=skew_plane.SkewPolicy().steal_threshold,
+        )
+        stats.pre_steal_balance = plan.pre_balance
+        stats.post_steal_balance = plan.pre_balance
+        if not plan.has_moves():
+            return
+        for units in work_lists:
+            units.clear()
+        stolen = 0
+        for slot, (l_part, t_part) in enumerate(originals):
+            pieces = fragment_tables(
+                l_part, t_part, query.hdfs_join_key, query.db_join_key,
+                plan.fragments[slot],
+            )
+            for index, piece in enumerate(pieces):
+                destination = plan.assignments[(slot, index)]
+                work_lists[destination].append(piece)
+                if destination != slot:
+                    stolen += piece[0].num_rows + piece[1].num_rows
+        for slot, units in enumerate(work_lists):
+            if not units:
+                # Everything this slot owned was dealt away; keep a
+                # degenerate empty unit so the per-worker aggregation
+                # shape is unchanged.
+                units.append((originals[slot][0].slice(0, 0),
+                              originals[slot][1].slice(0, 0)))
+        stats.stolen_tuples = stolen
+        loads = [
+            sum(l_unit.num_rows + t_unit.num_rows
+                for l_unit, t_unit in units)
+            for units in work_lists
+        ]
+        mean = sum(loads) / len(loads)
+        stats.post_steal_balance = (
+            max(loads) / mean if mean > 0 else 1.0
+        )

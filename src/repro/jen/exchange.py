@@ -38,6 +38,22 @@ class ShuffleResult:
     retries: int = 0
     #: Re-delivered partitions the receivers suppressed (lost ACKs).
     duplicates_suppressed: int = 0
+    #: Rows routed off the agreed hash by a hybrid (skew-resistant)
+    #: shuffle — hot-key build rows spread round-robin across workers.
+    hot_tuples: int = 0
+
+    def balance_factor(self) -> float:
+        """Hottest receiver's row count relative to the mean (>= 1.0).
+
+        This is the measured data-plane analogue of the analytic
+        ``HybridConfig.shuffle_skew`` multiplier: the shuffle finishes
+        when the most-loaded receiver has everything addressed to it.
+        """
+        sizes = [table.num_rows for table in self.per_destination]
+        total = sum(sizes)
+        if not sizes or total == 0:
+            return 1.0
+        return max(1.0, max(sizes) * len(sizes) / total)
 
 
 def shuffle(outgoing: Sequence[Sequence[Table]],

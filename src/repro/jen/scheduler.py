@@ -6,6 +6,12 @@ best-effort manner".  The greedy policy below reproduces that: blocks
 are dealt one at a time to the least-loaded worker holding a replica,
 unless every replica holder is already at the balanced target, in which
 case the globally least-loaded worker takes it as a remote read.
+
+The same least-loaded-first instinct drives :func:`plan_work_stealing`,
+the skew plane's join-time rebalancer: when a straggler partition
+survives the hybrid shuffle (detection has thresholds; mild skew slips
+under them), its work is fragmented and re-dealt across the idle
+workers before the local joins run.
 """
 
 from __future__ import annotations
@@ -46,6 +52,102 @@ class BlockAssignment:
             sum(block.num_rows for block in blocks)
             for blocks in self.per_worker.values()
         )
+
+
+@dataclass
+class StealPlan:
+    """How straggler partitions are re-dealt across workers.
+
+    ``fragments[slot]`` is how many pieces slot's work splits into
+    (1 = untouched); ``assignments[(slot, piece)]`` names the worker
+    that executes the piece.  The plan is purely an assignment — the
+    engine fragments the actual tables (key-aligned, via
+    :func:`repro.jen.spill.fragment_tables`) and measures the achieved
+    balance afterwards.
+    """
+
+    loads: List[int]
+    fragments: List[int]
+    assignments: Dict[tuple, int]
+    #: max/mean load before and (estimated) after stealing.
+    pre_balance: float
+    post_balance: float
+
+    def has_moves(self) -> bool:
+        """True if any piece runs away from its original owner."""
+        return any(
+            destination != slot
+            for (slot, _piece), destination in self.assignments.items()
+        )
+
+
+def plan_work_stealing(loads: Sequence[int],
+                       threshold: float = 1.25) -> StealPlan:
+    """Deterministic LPT re-deal of straggler partitions.
+
+    ``loads[i]`` is worker *i*'s pending join work (build + probe
+    rows).  When the heaviest worker exceeds ``threshold`` times the
+    mean, every straggler's work is fragmented into roughly mean-sized
+    pieces; non-stragglers stay pinned to their owner (stealing must
+    only move the surplus, never reshuffle work that is already
+    placed).  The straggler pieces are then greedily dealt (largest
+    first) to the least-loaded workers — classic longest-processing-
+    time scheduling, with ties broken toward the piece's original owner
+    and then the lowest worker id so the plan is reproducible.
+    """
+    loads = [int(load) for load in loads]
+    n = len(loads)
+    identity = StealPlan(
+        loads=loads,
+        fragments=[1] * n,
+        assignments={(slot, 0): slot for slot in range(n)},
+        pre_balance=1.0,
+        post_balance=1.0,
+    )
+    if n <= 1:
+        return identity
+    total = sum(loads)
+    mean = total / n
+    if mean <= 0:
+        return identity
+    pre_balance = max(loads) / mean
+    identity.pre_balance = identity.post_balance = pre_balance
+    if pre_balance <= threshold:
+        return identity
+
+    fragments = [
+        min(n, math.ceil(load / mean)) if load > threshold * mean else 1
+        for load in loads
+    ]
+    assigned = [0.0] * n
+    assignments: Dict[tuple, int] = {}
+    for slot in range(n):
+        if fragments[slot] == 1:
+            assignments[(slot, 0)] = slot
+            assigned[slot] += loads[slot]
+    pieces = [
+        (slot, piece, loads[slot] / fragments[slot])
+        for slot in range(n)
+        if fragments[slot] > 1
+        for piece in range(fragments[slot])
+    ]
+    pieces.sort(key=lambda entry: (-entry[2], entry[0], entry[1]))
+    for slot, piece, estimate in pieces:
+        destination = min(
+            range(n),
+            key=lambda worker: (
+                assigned[worker], 0 if worker == slot else 1, worker
+            ),
+        )
+        assignments[(slot, piece)] = destination
+        assigned[destination] += estimate
+    return StealPlan(
+        loads=loads,
+        fragments=fragments,
+        assignments=assignments,
+        pre_balance=pre_balance,
+        post_balance=max(assigned) / mean,
+    )
 
 
 def assign_blocks(blocks: Sequence[Block], workers,

@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.bloom import BloomFilter, probe_and_insert
 from repro.edw.partitioner import agreed_hash_partition
 from repro.hdfs.blocks import Block
@@ -153,6 +155,14 @@ class JenWorker:
             stats.rows_after_predicates += after_predicates
             stats.rows_after_bloom += after_bloom
             pieces.append(wire)
+            if adaptive_hooks.skew_detection_active() \
+                    and request.join_key is not None \
+                    and request.join_key in wire.schema.names:
+                # Feed the heavy-hitter detector from the same per-block
+                # seam the adaptive plane uses — no second pass over L.
+                adaptive_hooks.record_scan_keys(
+                    wire.column(request.join_key)
+                )
             # One fully processed block: the adaptive plane's finest
             # observation grain (may raise SwitchSignal at a crossed
             # decision checkpoint).
@@ -222,3 +232,50 @@ class JenWorker:
                 table, key, parts, num_workers, agreed_hash_partition
             )
         return parts
+
+    @staticmethod
+    def partition_for_hybrid_shuffle(
+        table: Table, key: str, num_workers: int,
+        hot_keys, sender_offset: int = 0,
+    ) -> Tuple[List[Table], int]:
+        """Hybrid split: spread hot keys, agreed-hash the cold tail.
+
+        Rows of a detected hot key are dealt round-robin across that
+        key's bounded destination set — ``fanout`` consecutive workers
+        starting at the key's agreed-hash home — with different senders
+        starting their deal at different offsets; every other row keeps
+        the agreed hash.  Each hot row still lands on exactly *one*
+        worker — the matching probe-side rows are duplicated to the
+        same destination set
+        (:func:`repro.core.joins.repartition._route_db_rows`), which is
+        what keeps every (l, t) pair produced exactly once.
+
+        ``hot_keys`` is a :class:`repro.skew.HotKeySet`.  Returns
+        ``(parts, hot_rows)`` where ``hot_rows`` counts the rows that
+        left the agreed-hash route.
+        """
+        keys = table.column(key)
+        assignments = agreed_hash_partition(keys, num_workers)
+        dest_lists = hot_keys.destination_lists(
+            num_workers, agreed_hash_partition
+        )
+        hot_rows = 0
+        copied = False
+        for hot_key, dests in zip(hot_keys.keys, dest_lists):
+            index = np.flatnonzero(keys == hot_key)
+            if index.size == 0:
+                continue
+            if not copied:
+                assignments = assignments.copy()
+                copied = True
+            assignments[index] = dests[
+                (sender_offset + np.arange(index.size)) % dests.size
+            ]
+            hot_rows += int(index.size)
+        parts = partition_table(table, assignments, num_workers)
+        if invariants.checking_enabled():
+            invariants.check_hybrid_partition(
+                table, key, parts, num_workers, agreed_hash_partition,
+                hot_keys.keys, fanouts=hot_keys.fanouts,
+            )
+        return parts, hot_rows

@@ -16,6 +16,11 @@ pins that equivalence):
 * :mod:`repro.kernels.bloomops` — word-level Bloom-filter operations:
   duplicate-collapsing scatter-OR insert, vectorised multi-hash bit
   tests, and popcount without materialising individual bits.
+* :mod:`repro.kernels.sketch` — the seeded count-min sketch and top-k
+  candidate heap behind heavy-hitter detection (:mod:`repro.skew`);
+  streaming primitives with no naive twin — their contract (no
+  underestimation, bounded overestimation, determinism) is pinned by
+  property tests against exact counts instead.
 * :mod:`repro.kernels.reference` — the naive formulations every kernel
   must match bit for bit; they also provide the "before" timings of
   ``python -m repro bench``.
@@ -53,9 +58,12 @@ from repro.kernels.partition import (  # noqa: E402
     partition_indices,
     partition_table,
 )
+from repro.kernels.sketch import CountMinSketch, TopKHeap  # noqa: E402
 
 __all__ = [
+    "CountMinSketch",
     "JoinBuildIndex",
+    "TopKHeap",
     "kernels_enabled",
     "partition_indices",
     "partition_table",

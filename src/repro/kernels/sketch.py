@@ -1,0 +1,166 @@
+"""Count-min sketch + top-k candidate heap for heavy-hitter detection.
+
+The skew plane (:mod:`repro.skew`) needs to know, *while the scan is
+still running*, which join keys are hot enough to melt a single
+receiver in the agreed-hash shuffle.  The classic streaming answer
+(Cormode & Muthukrishnan) is a count-min sketch — a ``depth x width``
+counter matrix indexed by ``depth`` independent hashes — paired with a
+small candidate heap holding the keys whose estimates currently clear
+the hot threshold.
+
+Two properties make the pair safe to act on:
+
+* **No underestimation.**  Every cell an update touches only grows, so
+  ``estimate(k) >= true_count(k)`` always.  A key whose true frequency
+  ends above the hot threshold therefore can never be pruned from the
+  candidate set by a too-small estimate — no false negatives.
+* **Bounded overestimation.**  With width ``w`` and depth ``d``, the
+  standard bound gives ``estimate(k) <= true_count(k) + e*N/w`` with
+  probability ``1 - e^-d`` over the seeding, where ``N`` is the total
+  stream weight.  False positives cost only some unnecessary broadcast
+  of cold keys, never wrong answers.
+
+Hashing reuses the seeded splitmix64 mixer idiom of
+:mod:`repro.core.bloom`, so sketches with the same ``(width, depth,
+seed)`` are bit-deterministic across runs and platforms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+_MIX_MULT_1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX_MULT_2 = np.uint64(0x94D049BB133111EB)
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+
+
+def _mix(values: np.ndarray, seed: int) -> np.ndarray:
+    """Vectorised splitmix64 finaliser, seeded (same idiom as bloom)."""
+    x = values.astype(np.uint64, copy=True)
+    with np.errstate(over="ignore"):
+        x += np.uint64(seed) * _GOLDEN
+        x ^= x >> np.uint64(30)
+        x *= _MIX_MULT_1
+        x ^= x >> np.uint64(27)
+        x *= _MIX_MULT_2
+        x ^= x >> np.uint64(31)
+    return x
+
+
+class CountMinSketch:
+    """A seeded count-min sketch over integer keys.
+
+    Parameters
+    ----------
+    width:
+        Counters per row; overestimation shrinks as ``N / width``.
+    depth:
+        Independent hash rows; estimates take the minimum across them.
+    seed:
+        Base seed; row ``r`` hashes with ``seed * depth + r + 1`` so the
+        rows are independent but the whole sketch is reproducible.
+    """
+
+    def __init__(self, width: int = 1024, depth: int = 4, seed: int = 11):
+        if width <= 0 or depth <= 0:
+            raise SimulationError("sketch width and depth must be positive")
+        self.width = int(width)
+        self.depth = int(depth)
+        self.seed = int(seed)
+        self._counts = np.zeros((self.depth, self.width), dtype=np.int64)
+        self._total = 0
+
+    @property
+    def total(self) -> int:
+        """Total stream weight added so far."""
+        return self._total
+
+    def _positions(self, keys: np.ndarray) -> np.ndarray:
+        """(depth, len(keys)) matrix of counter indices."""
+        rows = [
+            _mix(keys, self.seed * self.depth + row + 1)
+            % np.uint64(self.width)
+            for row in range(self.depth)
+        ]
+        return np.stack(rows).astype(np.int64)
+
+    def add(self, keys: np.ndarray, counts: np.ndarray = None) -> None:
+        """Add ``counts[i]`` occurrences of ``keys[i]`` (1 if omitted).
+
+        Callers streaming raw key batches should pre-aggregate with
+        ``np.unique(..., return_counts=True)`` — the sketch is exact
+        under either form, the aggregated one just hashes less.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.size == 0:
+            return
+        if counts is None:
+            counts = np.ones(keys.size, dtype=np.int64)
+        else:
+            counts = np.asarray(counts, dtype=np.int64)
+        positions = self._positions(keys)
+        for row in range(self.depth):
+            np.add.at(self._counts[row], positions[row], counts)
+        self._total += int(counts.sum())
+
+    def estimate(self, keys: np.ndarray) -> np.ndarray:
+        """Frequency estimates (``>=`` truth, elementwise) for ``keys``."""
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        positions = self._positions(keys)
+        gathered = np.stack([
+            self._counts[row][positions[row]] for row in range(self.depth)
+        ])
+        return gathered.min(axis=0)
+
+
+class TopKHeap:
+    """The ``k`` keys with the largest (monotone) frequency estimates.
+
+    Estimates from a count-min sketch only grow, so the tracker keeps a
+    plain ``key -> best estimate`` map and prunes it in two ways: a
+    caller-supplied floor (the hot threshold, which also only grows) and
+    the capacity ``k``.  Ties break toward the smaller key so the
+    surviving set is deterministic regardless of offer order.
+    """
+
+    def __init__(self, k: int):
+        if k <= 0:
+            raise SimulationError("top-k capacity must be positive")
+        self.k = int(k)
+        self._estimates: Dict[int, int] = {}
+
+    def offer(self, keys: np.ndarray, estimates: np.ndarray) -> None:
+        """Record the latest estimates for a batch of candidate keys."""
+        for key, estimate in zip(keys.tolist(), estimates.tolist()):
+            current = self._estimates.get(key)
+            if current is None or estimate > current:
+                self._estimates[key] = int(estimate)
+
+    def prune(self, floor: int) -> None:
+        """Drop candidates below ``floor``, then enforce the capacity."""
+        self._estimates = {
+            key: estimate for key, estimate in self._estimates.items()
+            if estimate >= floor
+        }
+        if len(self._estimates) > self.k:
+            survivors = sorted(
+                self._estimates.items(),
+                key=lambda item: (-item[1], item[0]),
+            )[:self.k]
+            self._estimates = dict(survivors)
+
+    def keys(self) -> np.ndarray:
+        """Current candidate keys, sorted ascending (int64)."""
+        return np.array(sorted(self._estimates), dtype=np.int64)
+
+    def items(self) -> List[tuple]:
+        """``(key, estimate)`` pairs, hottest first, key-tie ascending."""
+        return sorted(
+            self._estimates.items(), key=lambda item: (-item[1], item[0])
+        )

@@ -1,0 +1,62 @@
+"""The skew plane: heavy-hitter detection, hybrid shuffle, stealing.
+
+Under power-law key distributions the agreed-hash shuffle sends every
+occurrence of a hot key to one JEN worker, and the whole join waits on
+it — ``benchmarks/results/ext_skew.txt`` measures the damage.  This
+package coordinates the three-stage countermeasure (in the spirit of
+Metwally's broadcast-hot/hash-cold hybrid split and Chakraborty's
+straggler-aware redistribution):
+
+1. **Detect** — a :class:`HeavyHitterDetector` (count-min sketch +
+   top-k heap, :mod:`repro.kernels.sketch`) rides the per-block scan
+   hooks of :mod:`repro.adaptive.hooks`, so detection costs no second
+   pass over L.
+2. **Split** — the shuffle spreads build-side (L) rows of detected hot
+   keys round-robin across workers and broadcasts the matching
+   probe-side (T′) rows to every worker; the cold tail keeps the
+   agreed hash (:meth:`repro.jen.engine.Jen.shuffle_by_key`,
+   :func:`repro.core.joins.repartition._route_db_rows`).
+3. **Steal** — residual straggler partitions are fragmented and
+   re-dealt across workers before the local joins run
+   (:func:`repro.jen.scheduler.plan_work_stealing`), priced honestly
+   as a ``work_steal`` transfer phase on the trace.
+
+Everything is gated behind :func:`set_skew_handling_enabled`, mirroring
+the kernels/backend toggles, so before/after comparisons run genuinely
+identical code paths with only the skew handling swapped.
+"""
+
+from __future__ import annotations
+
+_ENABLED = False
+
+
+def skew_handling_enabled() -> bool:
+    """Whether the hybrid shuffle + work stealing are active."""
+    return _ENABLED
+
+
+def set_skew_handling_enabled(enabled: bool) -> bool:
+    """Toggle skew handling (benchmark/testkit switch).
+
+    Returns the previous setting so callers can restore it.
+    """
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(enabled)
+    return previous
+
+
+from repro.skew.detector import (  # noqa: E402
+    HeavyHitterDetector,
+    HotKeySet,
+    SkewPolicy,
+)
+
+__all__ = [
+    "HeavyHitterDetector",
+    "HotKeySet",
+    "SkewPolicy",
+    "set_skew_handling_enabled",
+    "skew_handling_enabled",
+]

@@ -73,6 +73,13 @@ _CELL_POOL_WORKERS = 2
 ESTIMATE_ERROR_AXIS = (
     (1.0, 0.1), (0.1, 1.0), (1.0, 10.0), (10.0, 1.0),
 )
+#: The algorithms whose plan shuffles L' with the agreed hash — the
+#: only ones the skew-handling axis can change.
+SHUFFLE_ALGORITHMS = (
+    "repartition", "repartition(BF)", "semijoin", "perf", "zigzag",
+)
+#: Zipf exponents the skew axis pins (0.0 = uniform control).
+KEY_SKEW_AXIS = (0.0, 1.2, 1.8)
 
 
 @dataclass(frozen=True)
@@ -89,6 +96,9 @@ class ConfigCell:
     #: ``(sigma_t_factor, sigma_l_factor)`` injected into the adaptive
     #: wrapper's initial estimate (only meaningful for ``"adaptive"``).
     estimate_error: Optional[Tuple[float, float]] = None
+    #: Heavy-hitter detection + hybrid shuffle + work stealing
+    #: (:mod:`repro.skew`); only shuffle-using algorithms react.
+    skew_handling: bool = False
 
     def label(self) -> str:
         """Compact cell id for test parametrisation and repro output."""
@@ -105,6 +115,8 @@ class ConfigCell:
                 f"esterr[{self.estimate_error[0]:g}x,"
                 f"{self.estimate_error[1]:g}x]"
             )
+        if self.skew_handling:
+            parts.append("skew")
         return "/".join(parts)
 
 
@@ -150,7 +162,7 @@ def generate_data_case(seed: int, t_rows: int = 1_500,
             n_keys=int(rng.choice([8, 64, 200])),
             n_urls=40,
             seed=seed * 16 + attempt,
-            key_skew=float(rng.choice([0.0, 0.0, 1.2])),
+            key_skew=float(rng.choice([0.0, 0.0, 1.2, 1.8])),
         )
         try:
             workload = generate_workload(spec)
@@ -251,6 +263,40 @@ def _edge_case_builders() -> Dict[str, "callable"]:
     }
 
 
+def skewed_case(key_skew: float, seed: int = 7) -> DataCase:
+    """A pinned heavily Zipf-skewed case for the skew-handling axis.
+
+    Selectivities are kept moderate so the hot keys survive both
+    predicates and dominate the shuffle; infeasible draws (high skew
+    can starve a correlated key region of probability mass) retry on
+    the next derived seed.
+    """
+    for attempt in range(16):
+        spec = WorkloadSpec(
+            sigma_t=0.5, sigma_l=0.5, s_l=0.5,
+            t_rows=900, l_rows=3_600, n_keys=64, n_urls=24,
+            seed=seed * 16 + attempt, key_skew=key_skew,
+        )
+        try:
+            workload = generate_workload(spec)
+        except WorkloadError:
+            continue
+        break
+    else:
+        raise WorkloadError(
+            f"no feasible skewed workload for key_skew={key_skew}"
+        )
+    return DataCase(
+        name=f"skew{key_skew:g}",
+        t_table=workload.t_table,
+        l_table=workload.l_table,
+        query=build_paper_query(workload),
+        provenance=(
+            f"generator.skewed_case({key_skew!r}, seed={seed})"
+        ),
+    )
+
+
 def edge_case(name: str) -> DataCase:
     """One named extreme (see :func:`edge_cases` for the full set)."""
     builders = _edge_case_builders()
@@ -349,8 +395,10 @@ def run_cell(case: DataCase, cell: ConfigCell,
             case, cell.workers, cell.format_name
         )
     from repro.parallel import set_execution_backend
+    from repro.skew import set_skew_handling_enabled
 
     previous_kernels = set_kernels_enabled(cell.kernels)
+    previous_skew = set_skew_handling_enabled(cell.skew_handling)
     previous_backend = set_execution_backend(
         cell.backend,
         workers=_CELL_POOL_WORKERS if cell.backend == "process" else None,
@@ -375,6 +423,7 @@ def run_cell(case: DataCase, cell: ConfigCell,
         ).result
     finally:
         set_kernels_enabled(previous_kernels)
+        set_skew_handling_enabled(previous_skew)
         set_execution_backend(previous_backend)
 
 
@@ -444,6 +493,22 @@ def default_grid(seed: int = 2015) -> List[Tuple[DataCase, ConfigCell]]:
                 grid.append((case, ConfigCell(
                     algorithm, workers=4, kernels=kernels,
                 )))
+    # Skew axis: every shuffle-using algorithm, hybrid shuffle on and
+    # off, on the pinned heavily skewed case — plus every fault plan
+    # with skew handling armed (detection, broadcast split and work
+    # stealing must all survive crashes, stragglers, lossy links and
+    # spill pressure without changing a row).
+    hot = skewed_case(1.8)
+    for algorithm in SHUFFLE_ALGORITHMS:
+        for skew_handling in (False, True):
+            grid.append((hot, ConfigCell(
+                algorithm, workers=4, skew_handling=skew_handling,
+            )))
+        for fault_spec in FAULT_AXIS:
+            grid.append((hot, ConfigCell(
+                algorithm, workers=30, fault_spec=fault_spec,
+                skew_handling=True,
+            )))
     return grid
 
 
@@ -479,4 +544,13 @@ def wide_grid(seeds: Sequence[int]) -> List[Tuple[DataCase, ConfigCell]]:
                     "adaptive", workers=workers,
                     estimate_error=estimate_error,
                 )))
+        for key_skew in KEY_SKEW_AXIS[1:]:
+            hot = skewed_case(key_skew, seed=seed)
+            for algorithm in SHUFFLE_ALGORITHMS:
+                for workers in WORKER_AXIS:
+                    for skew_handling in (False, True):
+                        grid.append((hot, ConfigCell(
+                            algorithm, workers=workers,
+                            skew_handling=skew_handling,
+                        )))
     return grid

@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import weakref
 from contextlib import contextmanager
-from typing import Iterator, Sequence
+from typing import Iterator, Optional, Sequence
 
 import numpy as np
 
@@ -151,6 +151,160 @@ def check_hash_partition(table, key: str, parts: Sequence,
                 f"{key_value!r} landed in partition {index} but hashes "
                 f"to {int(routed[wrong[0]])}"
             )
+
+
+# ----------------------------------------------------------------------
+# Hybrid (broadcast-hot / hash-cold) shuffle (jen/worker.py,
+# core/joins/repartition.py)
+# ----------------------------------------------------------------------
+def _hot_destination_sets(hot_keys: np.ndarray,
+                          fanouts: Optional[np.ndarray],
+                          num_partitions: int, hash_fn):
+    """Allowed destination set per hot key (all when no fan-outs)."""
+    if fanouts is None:
+        everywhere = frozenset(range(num_partitions))
+        return {int(k): everywhere for k in hot_keys}
+    homes = hash_fn(hot_keys, num_partitions)
+    return {
+        int(k): frozenset(
+            (int(home) + offset) % num_partitions
+            for offset in range(int(fanout))
+        )
+        for k, home, fanout in zip(hot_keys, homes, fanouts)
+    }
+
+
+def check_hybrid_partition(table, key: str, parts: Sequence,
+                           num_partitions: int, hash_fn,
+                           hot_keys: np.ndarray,
+                           fanouts: Optional[np.ndarray] = None) -> None:
+    """Hybrid split of one sender's build side (L rows).
+
+    * completeness — the partition row counts sum to the input rows;
+    * cold disjointness — every *cold* row of partition ``i`` re-hashes
+      to ``i`` under the agreed hash;
+    * hot conservation — each hot key's rows appear across the parts
+      exactly as many times as in the input (spread, never duplicated),
+      so no (l, t) pair can be produced twice downstream;
+    * hot containment — hot rows only land inside their key's bounded
+      destination set (``fanouts`` consecutive workers from the agreed-
+      hash home; every worker when ``fanouts`` is ``None``).
+    """
+    if not _CHECKING:
+        return
+    if len(parts) != num_partitions:
+        raise violation(
+            f"hybrid partitioner returned {len(parts)} parts for "
+            f"{num_partitions} partitions"
+        )
+    total = sum(part.num_rows for part in parts)
+    if total != table.num_rows:
+        raise violation(
+            f"hybrid partition completeness broken on key {key!r}: "
+            f"{table.num_rows} input rows became {total} partitioned rows"
+        )
+    hot_keys = np.asarray(hot_keys, dtype=np.int64)
+    allowed = _hot_destination_sets(hot_keys, fanouts, num_partitions,
+                                    hash_fn)
+    for index, part in enumerate(parts):
+        if part.num_rows == 0:
+            continue
+        keys = part.column(key)
+        hot_mask = np.isin(keys, hot_keys)
+        routed = hash_fn(keys, num_partitions)
+        wrong = np.flatnonzero(~hot_mask & (routed != index))
+        if wrong.size:
+            raise violation(
+                f"hybrid partition disjointness broken: cold row with "
+                f"{key}={keys[wrong[0]]!r} landed in partition {index} "
+                f"but hashes to {int(routed[wrong[0]])}"
+            )
+        for hot_key in np.unique(keys[hot_mask]):
+            if index not in allowed[int(hot_key)]:
+                raise violation(
+                    f"hybrid partition containment broken: hot key "
+                    f"{int(hot_key)} landed in partition {index}, "
+                    f"outside its destination set "
+                    f"{sorted(allowed[int(hot_key)])}"
+                )
+    input_keys = table.column(key)
+    input_hot = input_keys[np.isin(input_keys, hot_keys)]
+    spread_hot = np.concatenate([
+        part.column(key)[np.isin(part.column(key), hot_keys)]
+        for part in parts
+    ]) if parts else np.zeros(0, dtype=np.int64)
+    expected_keys, expected_counts = np.unique(input_hot,
+                                               return_counts=True)
+    actual_keys, actual_counts = np.unique(spread_hot, return_counts=True)
+    if (not np.array_equal(expected_keys, actual_keys)
+            or not np.array_equal(expected_counts, actual_counts)):
+        raise violation(
+            f"hybrid partition hot conservation broken on key {key!r}: "
+            "spread hot rows do not match the input multiset"
+        )
+
+
+def check_broadcast_routing(t_parts, key: str, per_destination,
+                            num_destinations: int, hash_fn,
+                            hot_keys: np.ndarray,
+                            fanouts: Optional[np.ndarray] = None) -> None:
+    """Probe-side (T′) routing of a hybrid shuffle.
+
+    Every destination must hold its agreed-hash share of the cold rows,
+    plus — for each hot key whose bounded destination set contains it —
+    exactly one copy of every input row of that key, and *zero* rows of
+    hot keys whose set does not contain it.  Together with the L-side
+    spread (:func:`check_hybrid_partition`) this guarantees each hot
+    (l, t) pair is produced exactly once.
+    """
+    if not _CHECKING:
+        return
+    hot_keys = np.asarray(hot_keys, dtype=np.int64)
+    allowed = _hot_destination_sets(hot_keys, fanouts, num_destinations,
+                                    hash_fn)
+    all_keys = np.concatenate([part.column(key) for part in t_parts]) \
+        if t_parts else np.zeros(0, dtype=np.int64)
+    hot_input = all_keys[np.isin(all_keys, hot_keys)]
+    input_counts = {
+        int(k): int(c)
+        for k, c in zip(*np.unique(hot_input, return_counts=True))
+    }
+    cold_input = all_keys[~np.isin(all_keys, hot_keys)]
+    cold_seen = 0
+    for destination, received in enumerate(per_destination):
+        keys = received.column(key)
+        hot_mask = np.isin(keys, hot_keys)
+        got_hot, got_counts = np.unique(keys[hot_mask],
+                                        return_counts=True)
+        got = {int(k): int(c) for k, c in zip(got_hot, got_counts)}
+        for hot_key in hot_keys:
+            expected = (
+                input_counts.get(int(hot_key), 0)
+                if destination in allowed[int(hot_key)] else 0
+            )
+            if got.get(int(hot_key), 0) != expected:
+                raise violation(
+                    f"broadcast routing broken at destination "
+                    f"{destination}: hot key {int(hot_key)} delivered "
+                    f"{got.get(int(hot_key), 0)} rows, expected "
+                    f"{expected}"
+                )
+        cold = keys[~hot_mask]
+        cold_seen += cold.size
+        if cold.size:
+            routed = hash_fn(cold, num_destinations)
+            wrong = np.flatnonzero(routed != destination)
+            if wrong.size:
+                raise violation(
+                    f"broadcast routing broken: cold row with {key}="
+                    f"{cold[wrong[0]]!r} arrived at destination "
+                    f"{destination} but hashes to {int(routed[wrong[0]])}"
+                )
+    if cold_seen != cold_input.size:
+        raise violation(
+            f"broadcast routing lost cold rows: {cold_input.size} input "
+            f"cold rows became {cold_seen} delivered rows"
+        )
 
 
 # ----------------------------------------------------------------------
