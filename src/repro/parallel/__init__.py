@@ -32,6 +32,8 @@ payload cannot be pickled (e.g. SQL-registered lambda UDFs).
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from typing import List, Optional, Tuple
 
 from repro.errors import ReproError
@@ -77,6 +79,69 @@ def drain_fallback_events() -> List[Tuple[str, str]]:
     events = list(_FALLBACK_EVENTS)
     _FALLBACK_EVENTS.clear()
     return events
+
+
+#: ``(event, detail)`` pairs recorded by the shared multi-query pool:
+#: queue contention, cross-query dispatch (work stealing), worker-crash
+#: retries, executor rebuilds.  Same bounded-drain discipline as the
+#: fallback events; the service counts them as ``parallel.pool.<event>``
+#: metrics.
+_POOL_EVENTS: List[Tuple[str, str]] = []
+_POOL_EVENT_CAP = 256
+_POOL_EVENT_LOCK = threading.Lock()
+
+
+def record_pool_event(event: str, detail: str = "") -> None:
+    """Note one shared-pool scheduling event (thread-safe)."""
+    with _POOL_EVENT_LOCK:
+        if len(_POOL_EVENTS) < _POOL_EVENT_CAP:
+            _POOL_EVENTS.append((event, detail))
+
+
+def pool_events() -> List[Tuple[str, str]]:
+    """The recorded pool events, oldest first (without draining)."""
+    with _POOL_EVENT_LOCK:
+        return list(_POOL_EVENTS)
+
+
+def drain_pool_events() -> List[Tuple[str, str]]:
+    """Return and clear the recorded pool events."""
+    with _POOL_EVENT_LOCK:
+        events = list(_POOL_EVENTS)
+        _POOL_EVENTS.clear()
+    return events
+
+
+#: Per-thread identity of the query stream submitting parallel work.
+#: The shared pool's fair scheduler keys on it; outside any explicit
+#: origin the thread itself is the stream.
+_ORIGIN = threading.local()
+
+
+@contextmanager
+def task_origin(tenant: str = "default", label: str = "",
+                priority: int = 0):
+    """Tag parallel work submitted by this thread with its query stream.
+
+    The service wraps each query's data-plane execution in this, so
+    morsels landing in the shared pool carry their tenant (for fair
+    scheduling) and priority.  Nestable; restores the previous origin.
+    """
+    previous = getattr(_ORIGIN, "value", None)
+    _ORIGIN.value = (tenant, label, priority)
+    try:
+        yield
+    finally:
+        _ORIGIN.value = previous
+
+
+def current_origin() -> Tuple[str, str, int]:
+    """This thread's (tenant, label, priority) stream identity."""
+    origin = getattr(_ORIGIN, "value", None)
+    if origin is not None:
+        return origin
+    thread = threading.current_thread()
+    return (thread.name, f"t{thread.ident}", 0)
 
 
 class ParallelUnsupported(Exception):
@@ -132,33 +197,46 @@ from repro.parallel.pool import (  # noqa: E402
     ProcessBackend,
     default_pool_workers,
     get_backend,
+    install_backend,
+    installed_backend,
     shutdown_backend,
 )
 from repro.parallel.shm import (  # noqa: E402
     AttachedTable,
+    SegmentPool,
     ShmRegistry,
     TableHandle,
     export_table,
     leaked_segments,
 )
+from repro.parallel.sharedpool import SharedProcessPool  # noqa: E402
 
 __all__ = [
     "AttachedTable",
     "ParallelUnsupported",
     "ProcessBackend",
+    "SegmentPool",
+    "SharedProcessPool",
     "ShmRegistry",
     "TableHandle",
     "VALID_BACKENDS",
+    "current_origin",
     "default_pool_workers",
     "drain_fallback_events",
+    "drain_pool_events",
     "execution_backend",
     "export_table",
     "fallback_events",
     "get_backend",
+    "install_backend",
+    "installed_backend",
     "leaked_segments",
     "parallel_enabled",
+    "pool_events",
     "pool_workers",
     "record_fallback",
+    "record_pool_event",
     "set_execution_backend",
     "shutdown_backend",
+    "task_origin",
 ]

@@ -24,7 +24,13 @@ from repro.jen.exchange import final_aggregate
 from repro.kernels.partition import partition_table
 from repro.parallel.pool import ProcessBackend
 from repro.parallel.shm import AttachedTable, TableHandle
-from repro.parallel.tasks import JoinSlotTask, run_join_slot
+from repro.parallel.tasks import (
+    KIND_JOIN,
+    TaskContext,
+    make_descriptor,
+    publish_context,
+    run_task,
+)
 from repro.relational.table import Table
 from repro.query.plan import merge_partials, partial_tables_nonempty
 from repro.query.query import HybridQuery
@@ -42,29 +48,33 @@ def _run_slots(
     ensure_picklable(query, "query plan")
     env = task_env(backend)
     transient: List[TableHandle] = []
+    context_ref = None
     try:
-        tasks = []
-        for slot, (l_part, t_part) in enumerate(pairs):
-            l_handle = backend.export_transient(l_part)
-            transient.append(l_handle)
-            t_handle = backend.export_transient(t_part)
-            transient.append(t_handle)
-            tasks.append(JoinSlotTask(
-                tag=slot,
-                l_part=l_handle,
-                t_part=t_handle,
-                query=query,
-                memory_budget_rows=memory_budget_rows,
-                env=env,
-            ))
-        results: List[Optional[Tuple[Table, object]]] = [None] * len(tasks)
-        for result in backend.run_unordered(run_join_slot, tasks):
+        # (build, probe) handles interleaved: slot s reads 2s / 2s + 1.
+        for l_part, t_part in pairs:
+            transient.append(backend.export_transient(l_part))
+            transient.append(backend.export_transient(t_part))
+        context_ref = publish_context(TaskContext(
+            env=env,
+            blocks=tuple(transient),
+            query=query,
+            memory_budget_rows=memory_budget_rows,
+        ), backend)
+        descriptors = [
+            make_descriptor(KIND_JOIN, context_ref, index=slot)
+            for slot in range(len(pairs))
+        ]
+        results: List[Optional[Tuple[Table, object]]] = \
+            [None] * len(pairs)
+        for result in backend.run_unordered(run_task, descriptors):
             with AttachedTable(result.handle) as attached:
                 partial = attached.materialize()
             backend.consume(result.handle)
             results[result.tag] = (partial, result)
         return results
     finally:
+        if context_ref is not None:
+            backend.close_context(context_ref)
         for handle in transient:
             backend.release(handle)
 

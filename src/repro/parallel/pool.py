@@ -23,6 +23,9 @@ from __future__ import annotations
 
 import atexit
 import os
+import threading
+import time
+import weakref
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Dict, Iterable, Iterator, Optional, Tuple
@@ -30,7 +33,12 @@ from typing import Callable, Dict, Iterable, Iterator, Optional, Tuple
 import multiprocessing
 
 from repro.errors import ParallelExecutionError
-from repro.parallel.shm import ShmRegistry, TableHandle, export_table
+from repro.parallel.shm import (
+    SegmentPool,
+    ShmRegistry,
+    TableHandle,
+    export_table,
+)
 from repro.relational.table import Table
 
 
@@ -45,52 +53,139 @@ def default_pool_workers() -> int:
 class ProcessBackend:
     """Executor + segment registry + export cache for one session."""
 
-    def __init__(self, workers: Optional[int] = None):
+    def __init__(self, workers: Optional[int] = None,
+                 max_pool_bytes: int = SegmentPool.DEFAULT_MAX_BYTES):
         self.workers = workers or default_pool_workers()
         self.registry = ShmRegistry()
+        #: The segment pool every export/recycle goes through: released
+        #: segments stay mapped and are reused across morsels/queries.
+        self.pool = SegmentPool(self.registry, max_bytes=max_pool_bytes)
         self._executor: Optional[ProcessPoolExecutor] = None
-        #: cache key -> (id of the exported table, handle).  The id
-        #: detects staleness: engine tables are immutable, so a new
-        #: object under the same key means the data changed.
-        self._export_cache: Dict[object, Tuple[int, TableHandle]] = {}
+        self._sizer = None
+        self._context_seq = 0
+        self._dispatch_overhead: Optional[float] = None
+        # Guards the export cache, context sequence and lazy sizer;
+        # the shared multi-query pool is called from many threads.
+        self._state_lock = threading.RLock()
+        #: cache key -> list of (weakref to exported table, handle).
+        #: Engine tables are immutable, so identity is the cache
+        #: validity test; the weakref keeps entries per *live* table.
+        #: Two warehouses can share a key (block ids restart per
+        #: filesystem), so one key may hold several live entries — the
+        #: old replace-on-mismatch scheme recycled a segment the other
+        #: query's in-flight morsels were still reading.
+        self._export_cache: Dict[object, list] = {}
+
+    @property
+    def sizer(self):
+        """This backend's adaptive morsel sizer (lazy; survives queries)."""
+        with self._state_lock:
+            if self._sizer is None:
+                from repro.parallel.scan import MorselSizer
+
+                self._sizer = MorselSizer()
+            return self._sizer
+
+    def next_context_seq(self) -> int:
+        """Globally-unique (per backend) sequence for task contexts."""
+        with self._state_lock:
+            self._context_seq += 1
+            return self._context_seq
+
+    def close_context(self, ref) -> None:
+        """Recycle a published context's segment after its batch."""
+        self.pool.recycle(ref.segment)
+
+    def dispatch_overhead_seconds(self, tasks: int = 12) -> float:
+        """Measured per-task dispatch cost of this pool (cached).
+
+        Round-trips ``tasks`` no-op descriptors through the executor
+        and divides the wall time: everything *except* useful work —
+        header pickle, queue hops, result pickle.  The first call warms
+        the pool so fork cost never pollutes the figure.  The morsel
+        sizer uses this to decide how many rows amortise a dispatch.
+        """
+        if self._dispatch_overhead is None:
+            from repro.parallel.tasks import (
+                KIND_NOOP,
+                make_descriptor,
+                run_task,
+            )
+
+            descriptors = [make_descriptor(KIND_NOOP, None, index=i)
+                           for i in range(max(4, tasks))]
+            executor = self.executor()
+            try:
+                list(executor.map(run_task, descriptors[:2]))
+                started = time.perf_counter()
+                list(executor.map(run_task, descriptors))
+                elapsed = time.perf_counter() - started
+            except BrokenProcessPool:
+                self._abort("a pool worker died during the dispatch probe")
+            self._dispatch_overhead = elapsed / len(descriptors)
+        return self._dispatch_overhead
 
     # ------------------------------------------------------------------
     def executor(self) -> ProcessPoolExecutor:
         """The live executor, creating it on first use."""
-        if self._executor is None:
-            try:
-                context = multiprocessing.get_context("fork")
-            except ValueError:  # pragma: no cover - non-POSIX
-                context = multiprocessing.get_context()
-            self._executor = ProcessPoolExecutor(
-                max_workers=self.workers, mp_context=context
-            )
-        return self._executor
+        with self._state_lock:
+            if self._executor is None:
+                try:
+                    context = multiprocessing.get_context("fork")
+                except ValueError:  # pragma: no cover - non-POSIX
+                    context = multiprocessing.get_context()
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.workers, mp_context=context
+                )
+            return self._executor
 
     # ------------------------------------------------------------------
     def export_cached(self, key: object, table: Table) -> TableHandle:
         """Shared-memory handle for an immutable engine table.
 
         The first call per (key, table object) pays the pack; later
-        queries over the same loaded table reuse the segment.
+        queries over the same loaded table reuse the segment.  Entries
+        are held per live table object, so concurrent queries over
+        different warehouses (which reuse block ids, hence keys) each
+        keep their own export; an entry is recycled only once its
+        table has been garbage-collected.
         """
-        cached = self._export_cache.get(key)
-        if cached is not None and cached[0] == id(table):
-            return cached[1]
-        if cached is not None:
-            self.registry.release(cached[1].segment)
-        handle = export_table(table, self.registry)
-        self._export_cache[key] = (id(table), handle)
-        return handle
+        with self._state_lock:
+            entries = self._export_cache.setdefault(key, [])
+            live = []
+            hit: Optional[TableHandle] = None
+            for ref, cached in entries:
+                target = ref()
+                if target is None:
+                    # The exported table was garbage-collected; no
+                    # query can still be scanning it (a running query
+                    # holds its warehouse's tables alive), so the
+                    # segment is safe to hand back to the pool.
+                    self.pool.recycle(cached.segment)
+                elif target is table:
+                    hit = cached
+                    live.append((ref, cached))
+                else:
+                    # A different live table under the same key
+                    # (another warehouse): keep both — recycling here
+                    # would yank a segment from under that query.
+                    live.append((ref, cached))
+            entries[:] = live
+            if hit is not None:
+                return hit
+            handle = export_table(table, self.pool)
+            entries.append((weakref.ref(table), handle))
+            return handle
 
     def export_transient(self, table: Table) -> TableHandle:
-        """Uncached export; caller releases via :meth:`release`."""
-        return export_table(table, self.registry)
+        """Uncached export into a pooled segment; caller releases via
+        :meth:`release` (which recycles, not unlinks)."""
+        return export_table(table, self.pool)
 
     def release(self, handle: Optional[TableHandle]) -> None:
-        """Unlink a transient handle's segment."""
+        """Recycle a transient handle's segment back into the pool."""
         if handle is not None:
-            self.registry.release(handle.segment)
+            self.pool.recycle(handle.segment)
 
     def adopt_result(self, handle: Optional[TableHandle]) -> None:
         """Take ownership of a worker-created result segment."""
@@ -98,16 +193,16 @@ class ProcessBackend:
             self.registry.adopt(handle.segment)
 
     def consume(self, handle: Optional[TableHandle]) -> None:
-        """Adopt and immediately unlink a worker-created result segment.
+        """Bank a worker-created result segment for reuse.
 
         The receive pattern: the coordinator attaches the result,
         copies it out (:meth:`AttachedTable.materialize`), then calls
-        this — inputs travel zero-copy, results pay one ``memcpy`` and
-        their segments never outlive the receive.
+        this — inputs travel zero-copy, results pay one ``memcpy``, and
+        their segments join the pool's free list so the next export
+        (any query) reuses the pages instead of minting a segment.
         """
         if handle is not None and handle.segment is not None:
-            self.registry.adopt(handle.segment)
-            self.registry.release(handle.segment)
+            self.pool.bank(handle.segment)
 
     # ------------------------------------------------------------------
     def run_unordered(self, fn: Callable, payloads: Iterable
@@ -164,15 +259,43 @@ class ProcessBackend:
             self._executor.shutdown(wait=False, cancel_futures=True)
             self._executor = None
         self._export_cache.clear()
+        self.pool.close()
         self.registry.close_all()
 
 
 _BACKEND: Optional[ProcessBackend] = None
 
+#: An explicitly-installed backend (the service's shared multi-query
+#: pool).  While set, every engine call site resolves to it regardless
+#: of the requested worker count — queries must share one pool to share
+#: its work queue.
+_INSTALLED: Optional[ProcessBackend] = None
+
+
+def install_backend(backend: Optional[ProcessBackend]
+                    ) -> Optional[ProcessBackend]:
+    """Route ``get_backend`` to ``backend`` (None uninstalls).
+
+    Returns the previously-installed backend so callers can restore it.
+    Installing does not tear anything down: the global lazily-created
+    backend (if any) stays alive for when the override is removed.
+    """
+    global _INSTALLED
+    previous = _INSTALLED
+    _INSTALLED = backend
+    return previous
+
+
+def installed_backend() -> Optional[ProcessBackend]:
+    """The currently-installed override, if any."""
+    return _INSTALLED
+
 
 def get_backend(workers: Optional[int] = None) -> ProcessBackend:
     """The session's shared :class:`ProcessBackend` (created lazily)."""
     global _BACKEND
+    if _INSTALLED is not None:
+        return _INSTALLED
     if _BACKEND is None:
         _BACKEND = ProcessBackend(workers=workers)
     elif workers is not None and workers != _BACKEND.workers:

@@ -1,10 +1,10 @@
 """Morsel-driven parallel scans with overlapped shuffle partitioning.
 
 The sequential engine scans each simulated worker's blocks in one pass.
-Here every block is cut into fixed-row **morsels** (Leis et al.'s
-morsel-driven parallelism) that form one shared work queue over the
-process pool: an idle pool worker always pulls the next pending morsel,
-so a straggling morsel cannot idle the other cores.
+Here every block is cut into **morsels** (Leis et al.'s morsel-driven
+parallelism) that form one shared work queue over the process pool: an
+idle pool worker always pulls the next pending morsel, so a straggling
+morsel cannot idle the other cores.
 
 The shuffle overlaps the scan: when the scan feeds a hash shuffle, each
 morsel task also partitions its filtered rows by the agreed hash
@@ -16,15 +16,27 @@ modelled.  The resulting outgoing matrix is stashed by the engine and
 consumed by the next ``shuffle_by_key`` over the same wire tables, so
 shuffle accounting and invariant checks still run unchanged.
 
+Morsel size is **adaptive**: :class:`MorselSizer` (one per backend,
+surviving across queries) grows morsels until the pool's measured
+per-task dispatch overhead is under 10% of the measured task body
+time, and shrinks them when one morsel's body dwarfs the batch mean
+(skew eats stealing granularity).  Results are banked: each morsel's
+segment joins the backend's :class:`~repro.parallel.shm.SegmentPool`
+after its rows are copied out, so steady-state batches reuse segments
+instead of minting them.
+
 Determinism: morsel results are keyed by ``(worker slot, block seq,
-morsel seq)`` and assembled in that order, so per-destination row order
-is bit-identical across pool sizes and runs.  Bloom-filter builds are
-applied coordinator-side in the same order (bitwise-OR inserts commute,
-so the filters are bit-identical to sequential anyway).
+morsel seq)`` and assembled in that order; because morsels are
+contiguous row ranges and the partitioning is stable, per-destination
+row order is bit-identical across pool sizes, morsel sizes and runs.
+Bloom-filter builds are applied coordinator-side in the same order
+(bitwise-OR inserts commute, so the filters are bit-identical to
+sequential anyway).
 """
 
 from __future__ import annotations
 
+import math
 import pickle
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -35,23 +47,97 @@ from repro.hdfs.filesystem import HdfsFileSystem, HdfsTableMeta
 from repro.jen.worker import JenWorker, ScanRequest, ScanStats
 from repro.parallel import ParallelUnsupported
 from repro.parallel.pool import ProcessBackend
-from repro.parallel.shm import AttachedTable
+from repro.parallel.shm import AttachedTable, TableHandle
 from repro.parallel.tasks import (
-    DbFilterTask,
-    ScanMorselTask,
+    KIND_DB_FILTER,
+    KIND_SCAN,
+    TaskContext,
     TaskEnv,
     export_bloom,
-    run_db_filter,
-    run_scan_morsel,
+    make_descriptor,
+    publish_context,
+    run_task,
 )
 from repro.relational.expressions import Predicate
 from repro.relational.table import Table
 from repro.testkit import invariants
 
-#: Rows per morsel.  Small enough that a selective scan yields many
-#: times more morsels than pool workers (work stealing has slack),
-#: large enough that per-task pickling overhead stays negligible.
+#: Baseline rows per morsel — the sizer's floor.  Small enough that a
+#: selective scan yields many times more morsels than pool workers
+#: (work stealing has slack), large enough that per-task dispatch
+#: overhead stays bounded.
 DEFAULT_MORSEL_ROWS = 8192
+
+
+class MorselSizer:
+    """Adapts rows-per-morsel to the pool's measured dispatch cost.
+
+    After each batch the sizer knows the measured per-row body cost
+    (``Σ body_seconds / Σ rows``) and the pool's per-task dispatch
+    overhead (:meth:`ProcessBackend.dispatch_overhead_seconds`); it
+    picks the smallest morsel whose body amortises the dispatch to
+    under :data:`TARGET_OVERHEAD` of task runtime.  Growth is damped
+    (≤4× per batch) and two pressures shrink morsels again:
+
+    * **skew** — when one morsel's body exceeds
+      :data:`SKEW_RATIO` × the batch mean, halve (big morsels rob the
+      queue of stealing granularity exactly when it matters);
+    * **slack** — :meth:`plan` never cuts a batch into fewer than two
+      morsels per pool worker when the input allows it.
+
+    Correctness never depends on the chosen size: morsels are
+    contiguous row ranges assembled in tag order, so any size yields
+    bit-identical results.
+    """
+
+    TARGET_OVERHEAD = 0.10
+    SKEW_RATIO = 4.0
+    GROWTH_CAP = 4
+
+    def __init__(self, min_rows: int = DEFAULT_MORSEL_ROWS,
+                 max_rows: int = 64 * DEFAULT_MORSEL_ROWS):
+        self.min_rows = min_rows
+        self.max_rows = max_rows
+        self.morsel_rows = min_rows
+        self.per_row_seconds: Optional[float] = None
+
+    def plan(self, total_rows: int, workers: int) -> int:
+        """Rows per morsel for the next batch of ``total_rows``."""
+        rows = self.morsel_rows
+        if workers > 0:
+            slack = math.ceil(total_rows / (2 * workers))
+            if slack >= self.min_rows:
+                rows = min(rows, slack)
+        return max(1, rows)
+
+    def observe(self, body_seconds: Sequence[float],
+                rows_done: Sequence[int],
+                overhead_seconds: float) -> None:
+        """Update the target size from one finished batch."""
+        total_rows = sum(rows_done)
+        total_body = sum(body_seconds)
+        if total_rows <= 0 or not body_seconds:
+            return
+        per_row = total_body / total_rows
+        if self.per_row_seconds is not None:
+            per_row = 0.5 * (per_row + self.per_row_seconds)
+        self.per_row_seconds = per_row
+        if per_row <= 0:
+            target = self.max_rows
+        else:
+            # body >= (1 - t)/t x overhead  =>  overhead <= t of task.
+            target = int(
+                overhead_seconds * (1.0 - self.TARGET_OVERHEAD)
+                / (self.TARGET_OVERHEAD * per_row)
+            ) + 1
+        target = min(target, self.GROWTH_CAP * self.morsel_rows)
+        target = max(self.min_rows, min(self.max_rows, target))
+        if len(body_seconds) >= 2:
+            mean = total_body / len(body_seconds)
+            if mean > 0 and max(body_seconds) > self.SKEW_RATIO * mean:
+                target = max(self.min_rows,
+                             min(target, self.morsel_rows // 2))
+        self.morsel_rows = target
 
 
 def ensure_picklable(payload, what: str) -> None:
@@ -112,10 +198,12 @@ def parallel_distributed_scan(
     bloom_hashes: int,
     bloom_seed: int,
     backend: ProcessBackend,
-    morsel_rows: int = DEFAULT_MORSEL_ROWS,
+    morsel_rows: Optional[int] = None,
 ) -> ParallelScanOutcome:
     """Run one distributed scan as a morsel queue on the process pool.
 
+    ``morsel_rows`` pins the morsel size (tests); by default the
+    backend's :class:`MorselSizer` picks it and learns from the batch.
     Raises :class:`ParallelUnsupported` when the request cannot cross
     the process boundary; the engine falls back to the sequential scan.
     """
@@ -137,70 +225,102 @@ def parallel_distributed_scan(
     )
     stats = ScanStats()
     env = task_env(backend)
-    bloom_handle = None
-    if db_bloom is not None:
-        bloom_handle = export_bloom(db_bloom, backend.registry)
-    try:
-        tasks: List[ScanMorselTask] = []
-        for slot, worker in enumerate(workers):
-            blocks = list(assignment.blocks_for(worker.worker_id))
-            for block_seq, block in enumerate(blocks):
-                local = (
-                    worker.worker_id < len(filesystem.datanodes)
-                    and filesystem.datanodes[worker.worker_id]
-                    .has_replica(block.block_id)
-                )
-                if local:
-                    stats.local_blocks += 1
-                else:
-                    stats.remote_blocks += 1
-                # Export the first replica's rows (replicas are
-                # identical); the segment is cached across queries.
-                rows = filesystem.datanodes[block.replicas[0]] \
-                    .read_block(block)
-                handle = backend.export_cached(
-                    ("block", block.block_id), rows
-                )
-                for morsel_seq, (start, stop) in enumerate(
-                    morsel_ranges(block.num_rows, morsel_rows)
-                ):
-                    tasks.append(ScanMorselTask(
-                        tag=(slot, block_seq, morsel_seq),
-                        block=handle,
-                        row_start=start,
-                        row_stop=stop,
-                        request=request,
-                        db_bloom=bloom_handle,
-                        num_partitions=num_workers if fuse else None,
-                        env=env,
-                    ))
 
-        # tag -> (materialised wire, per-destination slices).  Receive
-        # in completion order: the materialise + partition slicing of
-        # finished morsels overlaps the scanning of the rest.
-        morsels: Dict[Tuple[int, int, int],
-                      Tuple[Table, Optional[List[Table]]]] = {}
-        for result in backend.run_unordered(run_scan_morsel, tasks):
-            with AttachedTable(result.handle) as attached:
-                wire = attached.materialize()
-            backend.consume(result.handle)
-            dest_slices: Optional[List[Table]] = None
-            if result.counts is not None:
-                dest_slices = []
-                offset = 0
-                for count in result.counts:
-                    dest_slices.append(wire.slice(offset, offset + count))
-                    offset += count
-            morsels[result.tag] = (wire, dest_slices)
-            stats.rows_scanned += result.rows_scanned
-            stats.stored_bytes_scanned += (
-                result.rows_scanned * scan_row_bytes
+    # Export every block first (cached across queries) so the batch's
+    # total row count is known before the morsel size is chosen.
+    block_handles: List[TableHandle] = []
+    block_info: List[Tuple[int, int, int, int]] = []
+    total_rows = 0
+    for slot, worker in enumerate(workers):
+        blocks = list(assignment.blocks_for(worker.worker_id))
+        for block_seq, block in enumerate(blocks):
+            local = (
+                worker.worker_id < len(filesystem.datanodes)
+                and filesystem.datanodes[worker.worker_id]
+                .has_replica(block.block_id)
             )
-            stats.rows_after_predicates += result.rows_after_predicates
-            stats.rows_after_bloom += result.rows_after_bloom
+            if local:
+                stats.local_blocks += 1
+            else:
+                stats.remote_blocks += 1
+            # Export the first replica's rows (replicas are
+            # identical); the segment is cached across queries.
+            rows = filesystem.datanodes[block.replicas[0]] \
+                .read_block(block)
+            handle = backend.export_cached(
+                ("block", block.block_id), rows
+            )
+            block_info.append(
+                (slot, block_seq, len(block_handles), block.num_rows))
+            block_handles.append(handle)
+            total_rows += block.num_rows
+
+    adaptive = morsel_rows is None
+    if adaptive:
+        overhead = backend.dispatch_overhead_seconds()
+        effective_rows = backend.sizer.plan(total_rows, backend.workers)
+    else:
+        overhead = 0.0
+        effective_rows = morsel_rows
+
+    bloom_handle = None
+    context_ref = None
+    bodies: List[float] = []
+    rows_done: List[int] = []
+    # tag -> (materialised wire, per-destination slices).  Receive in
+    # completion order: the materialise + partition slicing of finished
+    # morsels overlaps the scanning of the rest.
+    morsels: Dict[Tuple[int, int, int],
+                  Tuple[Table, Optional[List[Table]]]] = {}
+    try:
+        if block_info:
+            if db_bloom is not None:
+                bloom_handle = export_bloom(db_bloom, backend.pool)
+            context_ref = publish_context(TaskContext(
+                env=env,
+                blocks=tuple(block_handles),
+                request=request,
+                db_bloom=bloom_handle,
+                num_partitions=num_workers if fuse else None,
+            ), backend)
+            descriptors = [
+                make_descriptor(
+                    KIND_SCAN, context_ref,
+                    tag=(slot, block_seq, morsel_seq),
+                    index=index, row_start=start, row_stop=stop,
+                )
+                for slot, block_seq, index, num_rows in block_info
+                for morsel_seq, (start, stop) in enumerate(
+                    morsel_ranges(num_rows, effective_rows))
+            ]
+            for result in backend.run_unordered(run_task, descriptors):
+                with AttachedTable(result.handle) as attached:
+                    wire = attached.materialize()
+                backend.consume(result.handle)
+                dest_slices: Optional[List[Table]] = None
+                if result.counts is not None:
+                    dest_slices = []
+                    offset = 0
+                    for count in result.counts:
+                        dest_slices.append(
+                            wire.slice(offset, offset + count))
+                        offset += count
+                morsels[result.tag] = (wire, dest_slices)
+                bodies.append(result.body_seconds)
+                rows_done.append(result.rows_scanned)
+                stats.rows_scanned += result.rows_scanned
+                stats.stored_bytes_scanned += (
+                    result.rows_scanned * scan_row_bytes
+                )
+                stats.rows_after_predicates += result.rows_after_predicates
+                stats.rows_after_bloom += result.rows_after_bloom
     finally:
+        if context_ref is not None:
+            backend.close_context(context_ref)
         if bloom_handle is not None:
-            backend.registry.release(bloom_handle.segment)
+            backend.pool.recycle(bloom_handle.segment)
+    if adaptive and bodies:
+        backend.sizer.observe(bodies, rows_done, overhead)
 
     # Deterministic assembly: (block seq, morsel seq) order per slot.
     blooms = (
@@ -269,22 +389,28 @@ def parallel_db_filter(
     """
     ensure_picklable((predicate, tuple(projection)), "database scan")
     env = task_env(backend)
-    tasks = []
-    for index, worker in enumerate(workers):
+    handles: List[TableHandle] = []
+    for worker in workers:
         partition = worker.partition(table_name)
-        handle = backend.export_cached(
+        handles.append(backend.export_cached(
             ("dbpart", table_name, worker.worker_id), partition
-        )
-        tasks.append(DbFilterTask(
-            tag=index,
-            partition=handle,
-            predicate=predicate,
-            projection=tuple(projection),
-            env=env,
         ))
-    parts: List[Optional[Table]] = [None] * len(tasks)
-    for result in backend.run_unordered(run_db_filter, tasks):
-        with AttachedTable(result.handle) as attached:
-            parts[result.tag] = attached.materialize()
-        backend.consume(result.handle)
+    parts: List[Optional[Table]] = [None] * len(handles)
+    context_ref = publish_context(TaskContext(
+        env=env,
+        blocks=tuple(handles),
+        predicate=predicate,
+        projection=tuple(projection),
+    ), backend)
+    try:
+        descriptors = [
+            make_descriptor(KIND_DB_FILTER, context_ref, index=index)
+            for index in range(len(handles))
+        ]
+        for result in backend.run_unordered(run_task, descriptors):
+            with AttachedTable(result.handle) as attached:
+                parts[result.tag] = attached.materialize()
+            backend.consume(result.handle)
+    finally:
+        backend.close_context(context_ref)
     return parts

@@ -1,0 +1,356 @@
+"""One process pool serving many concurrent queries.
+
+:class:`SharedProcessPool` is a :class:`~repro.parallel.pool
+.ProcessBackend` whose work queue is shared across query streams: every
+``run_unordered`` / ``run_all`` batch — from any thread — lands its
+tasks in one pending list, and a dispatcher fills the pool's worker
+slots from that list.  Morsels, not queries, are the scheduling unit,
+which is what buys the two properties the single-query backend cannot
+have:
+
+* **cross-query work stealing** — when stream A's batch drains below
+  the worker count, the freed slots immediately pull stream B's
+  morsels; no query can idle the pool while another has pending work;
+* **fair sharing** — the slot-fill order reuses the service plane's
+  :class:`~repro.service.scheduler.FairSharePolicy` (highest priority
+  first, then the tenant with the fewest tasks in flight, then FIFO),
+  keyed by the submitting thread's :func:`repro.parallel.task_origin`.
+
+Crash containment is *per stream*, not per pool: a dead worker fails
+every in-flight future with :class:`BrokenProcessPool`, so affected
+tasks are retried (bounded per task) on a rebuilt executor and only a
+task that keeps killing workers fails — and it fails only its own
+stream.  The registry is never torn down while other streams hold live
+segments; orphan reclamation (:meth:`ShmRegistry.sweep`) is deferred
+until the pool goes idle.
+
+Scheduling decisions are observable through
+:func:`repro.parallel.record_pool_event`: ``contention`` (a task waited
+because all slots were busy), ``cross_stream_dispatch`` (a slot freed
+by one stream was given to another), ``worker_crash_retry`` and
+``executor_rebuild``.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional
+
+from repro.errors import ParallelExecutionError
+from repro.parallel.pool import ProcessBackend
+from repro.parallel.shm import SegmentPool
+
+
+@dataclass
+class _Stream:
+    """One submitted batch (one ``run_unordered``/``run_all`` call)."""
+
+    tenant: str
+    label: str
+    priority: int
+    total: int
+    #: ``("result", index, value)`` or ``("error", index, exc)``.
+    results: "queue.Queue" = field(default_factory=queue.Queue)
+    delivered: int = 0
+    failed: bool = False
+    cancelled: bool = False
+
+
+@dataclass
+class _PendingTask:
+    """One task waiting for a pool slot."""
+
+    stream: _Stream
+    fn: Callable
+    payload: object
+    index: int
+    seq: int
+    attempts: int = 0
+    #: Set when the task ever waited behind a full pool (contention).
+    waited: bool = False
+    #: The executor this task was last submitted to — a breakage only
+    #: tears down the executor that actually broke, never a rebuilt one.
+    executor: object = None
+
+    # FairSharePolicy reads .priority / .tenant / .seq off the pending
+    # items; expose the stream's identity.
+    @property
+    def priority(self) -> int:
+        return self.stream.priority
+
+    @property
+    def tenant(self) -> str:
+        return self.stream.tenant
+
+
+class SharedProcessPool(ProcessBackend):
+    """A multi-query :class:`ProcessBackend` with one shared work queue.
+
+    Thread-safe: any number of query threads may run parallel batches
+    concurrently; the segment pool, registry and export cache are
+    shared (so one tenant's cached block exports warm every tenant).
+    """
+
+    #: Attempts per task across executor rebuilds.  A worker crash
+    #: fails *every* in-flight future, so innocent tasks of other
+    #: streams need headroom to survive a neighbour's repeated crashes.
+    MAX_ATTEMPTS = 3
+
+    def __init__(self, workers: Optional[int] = None,
+                 max_pool_bytes: int = SegmentPool.DEFAULT_MAX_BYTES):
+        super().__init__(workers=workers, max_pool_bytes=max_pool_bytes)
+        from repro.service.scheduler import FairSharePolicy
+
+        self._queue_lock = threading.RLock()
+        self._policy = FairSharePolicy()
+        self._pending: List[_PendingTask] = []
+        self._in_flight: Dict[str, int] = {}
+        self._slots_busy = 0
+        self._task_seq = 0
+        self._active_streams = 0
+        self._last_stream: Optional[_Stream] = None
+        self._sweep_pending = False
+
+    # -- submission ----------------------------------------------------
+    def _submit_batch(self, fn: Callable, payloads: List[object]
+                      ) -> _Stream:
+        from repro.parallel import current_origin
+
+        tenant, label, priority = current_origin()
+        stream = _Stream(tenant=tenant, label=label, priority=priority,
+                         total=len(payloads))
+        if not payloads:
+            return stream
+        with self._queue_lock:
+            self._active_streams += 1
+            for index, payload in enumerate(payloads):
+                self._task_seq += 1
+                self._pending.append(_PendingTask(
+                    stream=stream, fn=fn, payload=payload,
+                    index=index, seq=self._task_seq,
+                ))
+            self._dispatch_locked()
+        return stream
+
+    def _dispatch_locked(self) -> None:
+        """Fill free worker slots from the pending list (lock held)."""
+        from repro import parallel
+
+        while self._pending and self._slots_busy < self.workers:
+            choice = self._policy.select(self._pending, self._in_flight)
+            if choice is None:  # pragma: no cover - pending is non-empty
+                return
+            task = self._pending.pop(choice)
+            if task.stream.cancelled or task.stream.failed:
+                self._account_dropped_locked(task)
+                continue
+            if task.waited:
+                parallel.record_pool_event(
+                    "contention",
+                    f"{task.stream.tenant}:{task.stream.label}")
+            if (self._last_stream is not None
+                    and task.stream is not self._last_stream):
+                parallel.record_pool_event(
+                    "cross_stream_dispatch",
+                    f"{self._last_stream.tenant}->{task.stream.tenant}")
+            self._last_stream = task.stream
+            task.attempts += 1
+            self._slots_busy += 1
+            self._in_flight[task.tenant] = \
+                self._in_flight.get(task.tenant, 0) + 1
+            task.executor = self.executor()
+            future = task.executor.submit(task.fn, task.payload)
+            future.add_done_callback(
+                lambda f, task=task: self._task_done(task, f))
+        for task in self._pending:
+            task.waited = True
+
+    def _account_dropped_locked(self, task: _PendingTask) -> None:
+        """A cancelled/failed stream's pending task will never run."""
+        stream = task.stream
+        stream.delivered += 1
+        stream.results.put(("dropped", task.index, None))
+        if stream.delivered >= stream.total:
+            self._stream_drained_locked(stream)
+
+    def _stream_drained_locked(self, stream: _Stream) -> None:
+        self._active_streams -= 1
+        if self._last_stream is stream:
+            self._last_stream = None
+        self._maybe_sweep_locked()
+
+    def _maybe_sweep_locked(self) -> None:
+        """Deferred orphan reclamation, only when the pool is idle.
+
+        Sweeping while any stream runs could unlink a result segment a
+        live worker just created but not yet reported; once idle, every
+        unreported leftover really is an orphan of a dead worker.
+        """
+        if (self._sweep_pending and self._active_streams == 0
+                and self._slots_busy == 0):
+            self._sweep_pending = False
+            self.registry.sweep()
+
+    # -- completion (executor callback thread) -------------------------
+    def _task_done(self, task: _PendingTask, future) -> None:
+        stream = task.stream
+        with self._queue_lock:
+            self._slots_busy -= 1
+            count = self._in_flight.get(task.tenant, 1) - 1
+            if count > 0:
+                self._in_flight[task.tenant] = count
+            else:
+                self._in_flight.pop(task.tenant, None)
+            error: Optional[BaseException] = None
+            if future.cancelled():
+                error = ParallelExecutionError("task cancelled")
+            else:
+                error = future.exception()
+            if isinstance(error, BrokenProcessPool):
+                self._handle_breakage_locked(task)
+                return
+            stream.delivered += 1
+            if error is not None:
+                stream.failed = True
+                stream.results.put(("error", task.index, error))
+            elif stream.cancelled or stream.failed:
+                stream.results.put(("dropped", task.index, None))
+            else:
+                stream.results.put(
+                    ("result", task.index, future.result()))
+            if stream.delivered >= stream.total:
+                self._stream_drained_locked(stream)
+            self._dispatch_locked()
+
+    def _handle_breakage_locked(self, task: _PendingTask) -> None:
+        """A worker died under ``task`` (or a neighbour's task)."""
+        from repro import parallel
+
+        if self._executor is not None and self._executor is task.executor:
+            # Only the executor that actually broke is torn down: late
+            # breakage callbacks from the same crash must not kill the
+            # already-rebuilt pool other streams are running on.
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+            self._sweep_pending = True
+            parallel.record_pool_event(
+                "executor_rebuild",
+                f"after crash under {task.stream.tenant}")
+        stream = task.stream
+        if task.attempts < self.MAX_ATTEMPTS and not (
+                stream.cancelled or stream.failed):
+            parallel.record_pool_event(
+                "worker_crash_retry",
+                f"{stream.tenant}:{stream.label} "
+                f"attempt {task.attempts + 1}")
+            self._pending.append(task)
+        else:
+            stream.delivered += 1
+            stream.failed = True
+            stream.results.put(("error", task.index, ParallelExecutionError(
+                f"shared-pool task for stream "
+                f"{stream.tenant}:{stream.label} crashed the worker "
+                f"{task.attempts} times; giving up on this stream (other "
+                "streams continue on a rebuilt pool)"
+            )))
+            if stream.delivered >= stream.total:
+                self._stream_drained_locked(stream)
+        self._maybe_sweep_locked()
+        self._dispatch_locked()
+
+    # -- consumption ---------------------------------------------------
+    def _finish_stream(self, stream: _Stream) -> None:
+        """Abandon a stream (consumer exited early or errored)."""
+        with self._queue_lock:
+            if stream.delivered >= stream.total:
+                return  # fully drained; already accounted
+            stream.cancelled = True
+            # Pending tasks are dropped at dispatch; in-flight ones
+            # complete into the abandoned queue and are accounted by
+            # the done-callback.
+
+    def run_unordered(self, fn: Callable, payloads: Iterable
+                      ) -> Iterator[object]:
+        """Yield results as they complete, from the *shared* queue."""
+        stream = self._submit_batch(fn, list(payloads))
+        drained = False
+        try:
+            for _ in range(stream.total):
+                kind, _index, value = stream.results.get()
+                if kind != "result":
+                    raise value if isinstance(value, BaseException) \
+                        else ParallelExecutionError(
+                            "shared-pool task was dropped")
+                yield value
+            drained = True
+        finally:
+            if not drained:
+                self._finish_stream(stream)
+
+    def run_all(self, fn: Callable, payloads: Iterable) -> list:
+        """All results in payload order, from the shared queue."""
+        stream = self._submit_batch(fn, list(payloads))
+        results: List[object] = [None] * stream.total
+        error: Optional[BaseException] = None
+        for _ in range(stream.total):
+            kind, index, value = stream.results.get()
+            if kind == "error" and error is None:
+                error = value
+                self._finish_stream(stream)
+            elif kind == "result":
+                results[index] = value
+        if error is not None:
+            raise error
+        return results
+
+    def dispatch_overhead_seconds(self, tasks: int = 12) -> float:
+        """Per-task overhead measured through the shared queue itself.
+
+        Deliberately not computed under ``_state_lock``: the probe runs
+        a real batch (which takes ``_queue_lock``), and the two locks
+        must never nest in both orders.  A concurrent double probe is
+        harmless — both measure the same figure and one write wins.
+        """
+        if self._dispatch_overhead is None:
+            import time
+
+            from repro.parallel.tasks import (
+                KIND_NOOP,
+                make_descriptor,
+                run_task,
+            )
+
+            descriptors = [make_descriptor(KIND_NOOP, None, index=i)
+                           for i in range(max(4, tasks))]
+            self.run_all(run_task, descriptors[:2])  # warm the pool
+            started = time.perf_counter()
+            self.run_all(run_task, descriptors)
+            elapsed = time.perf_counter() - started
+            self._dispatch_overhead = elapsed / len(descriptors)
+        return self._dispatch_overhead
+
+    # -- lifecycle -----------------------------------------------------
+    def stats_snapshot(self) -> Dict[str, int]:
+        """Queue/pool counters for metrics scraping."""
+        with self._queue_lock:
+            snapshot = {
+                "pending": len(self._pending),
+                "slots_busy": self._slots_busy,
+                "active_streams": self._active_streams,
+            }
+        snapshot.update(self.pool.stats)
+        return snapshot
+
+    def shutdown(self) -> None:
+        with self._queue_lock:
+            for task in self._pending:
+                task.stream.cancelled = True
+            self._pending.clear()
+            self._in_flight.clear()
+            self._slots_busy = 0
+            self._active_streams = 0
+            self._sweep_pending = False
+        super().shutdown()

@@ -17,15 +17,26 @@ the prefix encodes the coordinator PID, :meth:`ShmRegistry.sweep` can
 reclaim even segments whose names were lost when a worker process died
 mid-transfer — ``/dev/shm`` ends every run clean, crash or no crash.
 
-Worker-created result segments are unregistered from the inheriting
-process's ``resource_tracker`` (:func:`disown_segment`) so the parent —
-not the dying worker — owns the unlink.
+All segment opens go through :func:`open_segment`, which suppresses
+``resource_tracker`` registration: the registry *is* the tracker here,
+and skipping the tracker's blocking pipe write per attach removes the
+largest per-morsel fixed cost.  Worker-created result segments are
+therefore never owned by the dying worker — the coordinator adopts and
+eventually unlinks them (:func:`unlink_segment`).
+
+:class:`SegmentPool` sits on top of the registry and recycles segments
+across morsels and queries on a size-bucketed free list: released
+segments stay mapped instead of being unlinked, and worker-created
+result segments are *banked* into the same free list once their rows
+have been materialised — in steady state the backend stops touching
+``shm_open``/``ftruncate`` entirely.
 """
 
 from __future__ import annotations
 
 import os
 import secrets
+import threading
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 from typing import Dict, List, Optional, Tuple
@@ -43,6 +54,75 @@ SESSION_PREFIX = f"reproshm{os.getpid()}x{secrets.token_hex(3)}"
 #: Where POSIX shared memory appears as files (Linux).  Used only by
 #: the crash sweep; other platforms fall back to tracked-name cleanup.
 _SHM_DIR = "/dev/shm"
+
+
+_TRACKER_PATCH_LOCK = threading.Lock()
+
+# The pool's fork-context workers are forked from a coordinator that
+# may have *other* query threads inside the patch window at fork time.
+# The child would inherit a held _TRACKER_PATCH_LOCK (and possibly the
+# patched tracker functions) with no thread left to release it, and
+# deadlock on its first open_segment.  Reset both in the child.
+from multiprocessing import resource_tracker as _resource_tracker
+
+_ORIGINAL_REGISTER = _resource_tracker.register
+_ORIGINAL_UNREGISTER = _resource_tracker.unregister
+
+
+def _reset_tracker_patch_after_fork() -> None:  # pragma: no cover - child
+    global _TRACKER_PATCH_LOCK
+    _TRACKER_PATCH_LOCK = threading.Lock()
+    _resource_tracker.register = _ORIGINAL_REGISTER
+    _resource_tracker.unregister = _ORIGINAL_UNREGISTER
+
+
+os.register_at_fork(after_in_child=_reset_tracker_patch_after_fork)
+
+
+def open_segment(name: str,
+                 create: bool = False,
+                 size: int = 0) -> shared_memory.SharedMemory:
+    """Open a shared-memory segment without resource-tracker traffic.
+
+    CPython (3.9–3.12) registers *every* ``SharedMemory`` — attaches
+    included — with the ``resource_tracker`` daemon, and each
+    registration is a blocking pipe write plus a liveness probe.  At
+    hundreds of morsel results per query that synchronous IPC dominates
+    the backend's fixed cost.  Our segments don't need the tracker:
+    every name is owned by a :class:`ShmRegistry` whose ``close_all`` /
+    ``sweep`` reclaim it even after a crash (the registry prefix is the
+    tracker).  So attach/create with registration suppressed.
+    """
+    from multiprocessing import resource_tracker
+
+    with _TRACKER_PATCH_LOCK:
+        original = resource_tracker.register
+        resource_tracker.register = lambda *_a, **_k: None
+        try:
+            return shared_memory.SharedMemory(
+                name=name, create=create, size=size
+            )
+        finally:
+            resource_tracker.register = original
+
+
+def unlink_segment(segment: shared_memory.SharedMemory) -> None:
+    """Unlink a segment opened via :func:`open_segment`.
+
+    ``SharedMemory.unlink`` unregisters from the resource tracker; for
+    segments whose registration was suppressed that is a spurious
+    (asynchronous, stderr-noisy) ``KeyError`` in the tracker daemon, so
+    suppress the unregister symmetrically.
+    """
+    from multiprocessing import resource_tracker
+
+    with _TRACKER_PATCH_LOCK:
+        original = resource_tracker.unregister
+        resource_tracker.unregister = lambda *_a, **_k: None
+        try:
+            segment.unlink()
+        finally:
+            resource_tracker.unregister = original
 
 
 def disown_segment(segment: shared_memory.SharedMemory) -> None:
@@ -140,9 +220,7 @@ class AttachedTable:
         columns: Dict[str, np.ndarray] = {}
         if handle.segment is not None:
             try:
-                self._segment = shared_memory.SharedMemory(
-                    name=handle.segment
-                )
+                self._segment = open_segment(handle.segment)
             except FileNotFoundError:
                 raise ShmError(
                     f"shared-memory segment {handle.segment!r} is gone "
@@ -211,54 +289,79 @@ class ShmRegistry:
         self.prefix = f"{prefix}i{ShmRegistry._instances}"
         self._counter = 0
         self._owned: Dict[str, Optional[shared_memory.SharedMemory]] = {}
+        # Re-entrant: the shared multi-query pool mutates the registry
+        # from several query threads plus executor callback threads.
+        self._lock = threading.RLock()
 
     def next_name(self) -> str:
         """A fresh segment name under this registry's prefix."""
-        self._counter += 1
-        return f"{self.prefix}n{self._counter}"
+        with self._lock:
+            self._counter += 1
+            return f"{self.prefix}n{self._counter}"
 
     def create(self, nbytes: int) -> shared_memory.SharedMemory:
         """Allocate and track a segment of at least ``nbytes``."""
         if nbytes < 0:
             raise ShmError(f"cannot allocate {nbytes} bytes")
-        segment = shared_memory.SharedMemory(
-            name=self.next_name(), create=True, size=max(1, nbytes)
+        segment = open_segment(
+            self.next_name(), create=True, size=max(1, nbytes)
         )
-        self._owned[segment.name] = segment
+        with self._lock:
+            self._owned[segment.name] = segment
         return segment
 
     def detach(self, segment: shared_memory.SharedMemory) -> None:
         """Close our mapping of an owned segment (still tracked)."""
-        if segment.name not in self._owned:
-            raise ShmError(f"segment {segment.name!r} is not owned here")
-        segment.close()
-        self._owned[segment.name] = None
+        with self._lock:
+            if segment.name not in self._owned:
+                raise ShmError(
+                    f"segment {segment.name!r} is not owned here")
+            segment.close()
+            self._owned[segment.name] = None
 
     def adopt(self, name: str) -> None:
         """Take ownership of a segment created in a worker process."""
-        if name not in self._owned:
-            self._owned[name] = None
+        with self._lock:
+            if name not in self._owned:
+                self._owned[name] = None
+
+    def adopt_mapped(self, segment: shared_memory.SharedMemory) -> None:
+        """Take ownership of an already-attached foreign segment.
+
+        Used by :class:`SegmentPool` when it banks a worker-created
+        result segment: the pool keeps the mapping alive for reuse, and
+        the registry records the mapped object so ``close_all`` can
+        unlink it without re-attaching.
+        """
+        with self._lock:
+            self._owned[segment.name] = segment
 
     def release(self, name: Optional[str]) -> None:
         """Unlink one owned segment (no-op for ``None`` / unknown)."""
-        if name is None or name not in self._owned:
+        if name is None:
             return
-        segment = self._owned.pop(name)
+        with self._lock:
+            if name not in self._owned:
+                return
+            segment = self._owned.pop(name)
         try:
             if segment is None:
-                segment = shared_memory.SharedMemory(name=name)
+                segment = open_segment(name)
             segment.close()
-            segment.unlink()
+            unlink_segment(segment)
         except FileNotFoundError:
             pass
 
     def owned_names(self) -> List[str]:
         """Currently tracked segment names (tests, leak checks)."""
-        return sorted(self._owned)
+        with self._lock:
+            return sorted(self._owned)
 
     def close_all(self) -> None:
         """Unlink every tracked segment, then sweep for orphans."""
-        for name in list(self._owned):
+        with self._lock:
+            names = list(self._owned)
+        for name in names:
             self.release(name)
         self.sweep()
 
@@ -277,19 +380,191 @@ class ShmRegistry:
             entries = os.listdir(_SHM_DIR)
         except OSError:  # pragma: no cover - permission-restricted /dev/shm
             return reclaimed
+        with self._lock:
+            owned = set(self._owned)
         for entry in entries:
             if not entry.startswith(self.prefix):
                 continue
-            if entry in self._owned:
+            if entry in owned:
                 continue
             try:
-                orphan = shared_memory.SharedMemory(name=entry)
+                orphan = open_segment(entry)
                 orphan.close()
-                orphan.unlink()
+                unlink_segment(orphan)
                 reclaimed.append(entry)
             except FileNotFoundError:
                 continue
         return reclaimed
+
+
+class SegmentPool:
+    """Size-bucketed reuse of shared-memory segments.
+
+    Creating and unlinking a ``/dev/shm`` segment costs a ``shm_open``
+    + ``ftruncate`` + ``mmap`` round trip per morsel — the single
+    biggest fixed cost of the process backend once the pool is warm.
+    The pool keeps released segments *mapped* on a power-of-two free
+    list instead of unlinking them, so the next export of similar size
+    reuses the same physical pages, across morsels and across queries.
+
+    Every pooled segment is still owned by the underlying
+    :class:`ShmRegistry` (created through it or adopted into it), so
+    the crash-safety story is unchanged: ``close_all`` / ``sweep``
+    reclaim everything, pooled or busy, and one pool's segments can
+    never collide with another registry's namespace.
+
+    The pool implements the ``create``/``detach`` allocator protocol of
+    :func:`export_table`: ``create`` may hand back a segment *larger*
+    than requested (the bucket size), which is safe because every
+    handle carries explicit per-column offsets and lengths.
+    """
+
+    #: Smallest bucket; anything below one page rounds up to it.
+    MIN_BUCKET = 4096
+    #: Default cap on bytes parked on the free list before further
+    #: recycles unlink instead (bounds /dev/shm usage of idle pools).
+    DEFAULT_MAX_BYTES = 128 * 1024 * 1024
+
+    def __init__(self, registry: ShmRegistry,
+                 max_bytes: int = DEFAULT_MAX_BYTES):
+        self.registry = registry
+        self.max_bytes = max_bytes
+        self._free: Dict[int, List[shared_memory.SharedMemory]] = {}
+        self._busy: Dict[str, shared_memory.SharedMemory] = {}
+        self._free_bytes = 0
+        # Re-entrant: concurrent query threads of the shared pool
+        # acquire/recycle/bank interleaved.
+        self._lock = threading.RLock()
+        self.stats: Dict[str, int] = {
+            "created": 0, "reused": 0, "banked": 0,
+            "recycled": 0, "evicted": 0,
+        }
+
+    @classmethod
+    def bucket_for(cls, nbytes: int) -> int:
+        """The power-of-two bucket holding ``nbytes``."""
+        bucket = cls.MIN_BUCKET
+        while bucket < nbytes:
+            bucket <<= 1
+        return bucket
+
+    @classmethod
+    def _bucket_of(cls, segment: shared_memory.SharedMemory) -> int:
+        """The largest bucket ``segment`` fully covers.
+
+        Pool-created segments are exactly bucket-sized; banked
+        worker-created segments have arbitrary sizes and file under the
+        next bucket *down*, so an ``acquire`` from that bucket is
+        always satisfied.
+        """
+        bucket = cls.bucket_for(segment.size)
+        if bucket > segment.size:
+            bucket >>= 1
+        return bucket
+
+    # -- allocator protocol (export_table, context publishing) ---------
+    def acquire(self, nbytes: int) -> shared_memory.SharedMemory:
+        """A mapped segment of at least ``nbytes`` (reused or fresh)."""
+        if nbytes < 0:
+            raise ShmError(f"cannot allocate {nbytes} bytes")
+        bucket = self.bucket_for(max(1, nbytes))
+        with self._lock:
+            free = self._free.get(bucket)
+            if free:
+                segment = free.pop()
+                self._free_bytes -= segment.size
+                self.stats["reused"] += 1
+            else:
+                segment = self.registry.create(bucket)
+                self.stats["created"] += 1
+            self._busy[segment.name] = segment
+        return segment
+
+    create = acquire
+
+    def detach(self, segment: shared_memory.SharedMemory) -> None:
+        """Allocator protocol no-op: pooled mappings stay open."""
+
+    # -- lifecycle -----------------------------------------------------
+    def recycle(self, name: Optional[str]) -> None:
+        """Return a busy segment to the free list (or unlink if over
+        the byte cap / unknown to the pool)."""
+        if name is None:
+            return
+        with self._lock:
+            segment = self._busy.pop(name, None)
+            if segment is None:
+                # Not pool-managed (e.g. a zero-byte table, or a handle
+                # exported before the pool existed): plain release.
+                self.registry.release(name)
+                return
+            if self._free_bytes + segment.size > self.max_bytes:
+                self.stats["evicted"] += 1
+                self.registry.release(name)
+                return
+            self._free.setdefault(
+                self._bucket_of(segment), []).append(segment)
+            self._free_bytes += segment.size
+            self.stats["recycled"] += 1
+
+    def bank(self, name: Optional[str]) -> None:
+        """Adopt a worker-created result segment into the free list.
+
+        The coordinator calls this after materialising a result: the
+        segment (created and disowned by a pool worker) becomes
+        registry-owned and immediately reusable for the next export.
+        Its size is banked under the largest bucket it fully covers.
+        """
+        if name is None:
+            return
+        try:
+            segment = open_segment(name)
+        except FileNotFoundError:
+            return
+        with self._lock:
+            self.registry.adopt_mapped(segment)
+            if self._free_bytes + segment.size > self.max_bytes:
+                self.stats["evicted"] += 1
+                self.registry.release(name)
+                return
+            self._free.setdefault(
+                self._bucket_of(segment), []).append(segment)
+            self._free_bytes += segment.size
+            self.stats["banked"] += 1
+
+    def release(self, name: Optional[str]) -> None:
+        """Unlink a busy segment outright (cache invalidation path)."""
+        if name is None:
+            return
+        with self._lock:
+            self._busy.pop(name, None)
+            self.registry.release(name)
+
+    def free_bytes(self) -> int:
+        """Bytes currently parked on the free list."""
+        with self._lock:
+            return self._free_bytes
+
+    def busy_names(self) -> List[str]:
+        """Names of segments handed out and not yet recycled."""
+        with self._lock:
+            return sorted(self._busy)
+
+    def drain(self) -> None:
+        """Unlink every free-list segment (busy ones stay live)."""
+        with self._lock:
+            for segments in self._free.values():
+                for segment in segments:
+                    self.registry.release(segment.name)
+            self._free.clear()
+            self._free_bytes = 0
+
+    def close(self) -> None:
+        """Unlink everything the pool tracks, free and busy."""
+        with self._lock:
+            self.drain()
+            for name in list(self._busy):
+                self.release(name)
 
 
 def leaked_segments(prefix: str = "reproshm") -> List[str]:

@@ -1,17 +1,35 @@
-"""Picklable task payloads and their worker-side bodies.
+"""Fixed-layout task descriptors and their worker-side bodies.
 
-Everything that crosses the process boundary is defined here: frozen
-payload dataclasses going out (tables travel as
-:class:`~repro.parallel.shm.TableHandle`, Bloom filters as
-:class:`BloomHandle`), result dataclasses coming back (result tables
-again as handles, created by the worker and *disowned* so the
-coordinator owns the unlink).
+The first version of this backend pickled a full payload dataclass per
+morsel — schema, scan request, Bloom handle, table handle — so dispatch
+cost grew with plan complexity and was paid for every one of hundreds
+of morsels.  This version splits a batch into two parts:
+
+* a :class:`TaskContext` — everything constant across the batch (env,
+  request/query, Bloom handle, the tuple of input table handles) —
+  pickled **once** and published into a pooled shared-memory segment
+  (:func:`publish_context`);
+* per-task **descriptors**: 97-byte fixed-layout structs
+  (:data:`_DESCRIPTOR`) carrying only primitives — a body kind, a tag,
+  an index into the context's handle tuple, a row range, and the
+  context segment's name.  No pickle of engine objects ever crosses
+  per task.
+
+Worker side, :func:`run_task` is the single entry point: it unpacks
+the struct, resolves the context (attached, unpickled and cached under
+its unique sequence number, so segment reuse can never alias a stale
+context), and dispatches to the engine body registered for the kind in
+:data:`_TASK_BODIES` — bodies are resolved *in the worker* from the
+registry, not shipped as callables.
 
 The bodies deliberately contain no pipeline logic of their own — they
 call the same :meth:`repro.jen.worker.JenWorker.process_rows` /
 :meth:`repro.edw.worker.DbWorker.filter_rows` / join-plan functions the
 sequential backend runs, so the two backends execute byte-for-byte the
-same engine code on each batch.
+same engine code on each batch.  Each result carries ``body_seconds``
+(the measured in-worker runtime) so the coordinator's
+:class:`~repro.parallel.scan.MorselSizer` can grow morsels until
+dispatch overhead is amortised.
 
 Every body first applies :class:`TaskEnv`: the coordinator's kernels
 toggle is replayed (the long-lived pool may have been forked under a
@@ -24,22 +42,27 @@ otherwise assert against shadow state that only exists in the parent.
 from __future__ import annotations
 
 import os
+import pickle
+import struct
+import time
+from collections import OrderedDict
 from dataclasses import dataclass
 from multiprocessing import shared_memory
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.core.bloom import BloomFilter
 from repro.edw.partitioner import agreed_hash_partition
 from repro.edw.worker import DbWorker
+from repro.errors import ShmError
 from repro.jen.worker import JenWorker, ScanRequest
 from repro.kernels.partition import partition_table
 from repro.parallel.shm import (
     AttachedTable,
     TableHandle,
-    disown_segment,
     export_table,
+    open_segment,
 )
 from repro.relational.expressions import Predicate
 from repro.relational.table import Table
@@ -72,9 +95,10 @@ class _ResultAllocator:
 
     Names carry the coordinator's session prefix plus this worker's PID
     (so concurrent pool workers cannot collide) and are disowned at
-    creation: the coordinator adopts each segment when the result
-    arrives, and its sweep reclaims any whose name died with a crashing
-    worker.  Implements the ``create``/``detach`` protocol of
+    creation: the coordinator banks each segment into its
+    :class:`~repro.parallel.shm.SegmentPool` when the result arrives,
+    and its sweep reclaims any whose name died with a crashing worker.
+    Implements the ``create``/``detach`` protocol of
     :func:`repro.parallel.shm.export_table`.
     """
 
@@ -84,11 +108,10 @@ class _ResultAllocator:
 
     def create(self, nbytes: int) -> shared_memory.SharedMemory:
         self._counter += 1
-        segment = shared_memory.SharedMemory(
-            name=f"{self.prefix}w{os.getpid()}r{self._counter}",
+        segment = open_segment(
+            f"{self.prefix}w{os.getpid()}r{self._counter}",
             create=True, size=max(1, nbytes),
         )
-        disown_segment(segment)
         return segment
 
     def detach(self, segment: shared_memory.SharedMemory) -> None:
@@ -123,7 +146,7 @@ class BloomHandle:
 
 
 def export_bloom(bloom: BloomFilter, registry) -> BloomHandle:
-    """Copy the filter's words into a fresh registry-owned segment."""
+    """Copy the filter's words into a registry/pool-owned segment."""
     segment = registry.create(bloom._words.nbytes)
     view = np.ndarray(bloom._words.shape, dtype=np.uint64,
                       buffer=segment.buf)
@@ -144,7 +167,7 @@ class AttachedBloom:
     """Read-only view of an exported Bloom filter (probe-side use)."""
 
     def __init__(self, handle: BloomHandle):
-        self._segment = shared_memory.SharedMemory(name=handle.segment)
+        self._segment = open_segment(handle.segment)
         self.bloom = BloomFilter(
             handle.num_bits, handle.num_hashes, handle.seed
         )
@@ -161,29 +184,145 @@ class AttachedBloom:
 
 
 # ----------------------------------------------------------------------
-# Morsel scan (JEN side)
+# Batch contexts: the pickled-once part of a task batch
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
-class ScanMorselTask:
-    """One fixed-row slice of one HDFS block through the scan pipeline.
+class TaskContext:
+    """Everything constant across one batch of tasks.
 
-    ``num_partitions`` set means the shuffle partitioning is fused into
-    the morsel: the result table comes back sorted by destination with
-    ``counts[d]`` rows for each destination ``d`` — the coordinator can
-    push the finished morsel's partitions into per-destination buffers
-    while other morsels are still being scanned (the Fig. 7 overlap).
+    Only the fields a batch's kind actually uses are populated; the
+    whole object is pickled once into a pooled segment and resolved
+    worker-side by sequence number.
     """
 
-    tag: Tuple[int, int, int]
-    block: TableHandle
-    row_start: int
-    row_stop: int
-    request: ScanRequest
-    db_bloom: Optional[BloomHandle]
-    num_partitions: Optional[int]
     env: TaskEnv
+    #: Input tables, referenced by descriptors via their index.  Join
+    #: batches interleave (build, probe) pairs: slot ``s`` reads
+    #: ``blocks[2s]`` / ``blocks[2s + 1]``.
+    blocks: Tuple[TableHandle, ...] = ()
+    request: Optional[ScanRequest] = None
+    db_bloom: Optional[BloomHandle] = None
+    num_partitions: Optional[int] = None
+    query: Optional[HybridQuery] = None
+    memory_budget_rows: float = 0.0
+    predicate: Optional[Predicate] = None
+    projection: Tuple[str, ...] = ()
 
 
+@dataclass(frozen=True)
+class ContextRef:
+    """Coordinator-side record of one published context."""
+
+    seq: int
+    segment: str
+    nbytes: int
+
+
+def publish_context(ctx: TaskContext, backend) -> ContextRef:
+    """Pickle ``ctx`` once into a pooled segment; returns its ref.
+
+    The caller recycles the segment via ``backend.close_context`` when
+    the batch is done.  ``seq`` is globally unique per backend, so a
+    recycled segment carrying a *new* context can never be confused
+    with a cached stale one in the workers.
+    """
+    payload = pickle.dumps(ctx, protocol=pickle.HIGHEST_PROTOCOL)
+    segment = backend.pool.acquire(len(payload))
+    segment.buf[:len(payload)] = payload
+    return ContextRef(
+        seq=backend.next_context_seq(),
+        segment=segment.name,
+        nbytes=len(payload),
+    )
+
+
+# ----------------------------------------------------------------------
+# Descriptors: the fixed-layout per-task header
+# ----------------------------------------------------------------------
+#: kind u8 | tag 3×i32 | index i32 | row_start i64 | row_stop i64 |
+#: ctx_seq u32 | ctx_nbytes u32 | ctx segment name 56 bytes (padded).
+_DESCRIPTOR = struct.Struct("<B3iiqqII56s")
+
+KIND_SCAN = 1
+KIND_JOIN = 2
+KIND_DB_FILTER = 3
+KIND_NOOP = 4
+
+
+def make_descriptor(kind: int, ctx: Optional[ContextRef],
+                    tag: Tuple[int, int, int] = (0, 0, 0),
+                    index: int = 0, row_start: int = 0,
+                    row_stop: int = 0) -> bytes:
+    """Pack one task header; the only thing pickled per task."""
+    segment = b"" if ctx is None else ctx.segment.encode("ascii")
+    if len(segment) > 56:
+        raise ShmError(f"segment name too long for descriptor: {segment!r}")
+    return _DESCRIPTOR.pack(
+        kind, tag[0], tag[1], tag[2], index, row_start, row_stop,
+        0 if ctx is None else ctx.seq,
+        0 if ctx is None else ctx.nbytes,
+        segment,
+    )
+
+
+#: Worker-side context cache: (segment name, seq) -> TaskContext.  The
+#: seq makes keys unique across segment reuse; a tiny LRU keeps the
+#: common case (every morsel of a batch hits the same context) at one
+#: attach + unpickle per batch per worker.
+_CONTEXT_CACHE: "OrderedDict[Tuple[str, int], TaskContext]" = OrderedDict()
+_CONTEXT_CACHE_CAP = 8
+
+
+def _resolve_context(name: str, seq: int, nbytes: int) -> TaskContext:
+    key = (name, seq)
+    ctx = _CONTEXT_CACHE.get(key)
+    if ctx is not None:
+        _CONTEXT_CACHE.move_to_end(key)
+        return ctx
+    try:
+        segment = open_segment(name)
+    except FileNotFoundError:
+        raise ShmError(
+            f"context segment {name!r} is gone (coordinator recycled it "
+            "before the batch finished?)"
+        ) from None
+    try:
+        payload = bytes(segment.buf[:nbytes])
+    finally:
+        segment.close()
+    ctx = pickle.loads(payload)
+    _CONTEXT_CACHE[key] = ctx
+    while len(_CONTEXT_CACHE) > _CONTEXT_CACHE_CAP:
+        _CONTEXT_CACHE.popitem(last=False)
+    return ctx
+
+
+#: kind -> body.  Bodies live in the registry and are resolved in the
+#: worker; submitting a task ships a 97-byte header, never a callable.
+_TASK_BODIES: Dict[int, Callable] = {}
+
+
+def register_task_body(kind: int, body: Callable) -> None:
+    _TASK_BODIES[kind] = body
+
+
+def run_task(raw: bytes):
+    """The pool's single entry point: header in, engine result out."""
+    (kind, tag0, tag1, tag2, index, row_start, row_stop,
+     ctx_seq, ctx_nbytes, segment) = _DESCRIPTOR.unpack(raw)
+    body = _TASK_BODIES.get(kind)
+    if body is None:
+        raise ShmError(f"no task body registered for kind {kind}")
+    name = segment.rstrip(b"\x00").decode("ascii")
+    ctx = None
+    if name:
+        ctx = _resolve_context(name, ctx_seq, ctx_nbytes)
+    return body(ctx, (tag0, tag1, tag2), index, row_start, row_stop)
+
+
+# ----------------------------------------------------------------------
+# Morsel scan (JEN side)
+# ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class ScanMorselResult:
     """What one morsel produced (wire table as a disowned handle)."""
@@ -194,58 +333,57 @@ class ScanMorselResult:
     rows_scanned: int
     rows_after_predicates: int
     rows_after_bloom: int
+    body_seconds: float
 
 
-def run_scan_morsel(task: ScanMorselTask) -> ScanMorselResult:
-    """Worker body: scan pipeline (+ optional fused partitioning)."""
-    _enter_task_env(task.env)
-    allocator = _result_allocator(task.env.prefix)
-    with AttachedTable(task.block) as attached:
-        rows = attached.table.slice(task.row_start, task.row_stop)
-        if task.db_bloom is not None:
-            with AttachedBloom(task.db_bloom) as db_bloom:
+def _run_scan_morsel(ctx: TaskContext, tag, index: int,
+                     row_start: int, row_stop: int) -> ScanMorselResult:
+    """Worker body: scan pipeline (+ optional fused partitioning).
+
+    ``num_partitions`` set on the context means the shuffle
+    partitioning is fused into the morsel: the result table comes back
+    sorted by destination with ``counts[d]`` rows for each destination
+    ``d`` — the coordinator can push the finished morsel's partitions
+    into per-destination buffers while other morsels are still being
+    scanned (the Fig. 7 overlap).
+    """
+    started = time.perf_counter()
+    _enter_task_env(ctx.env)
+    allocator = _result_allocator(ctx.env.prefix)
+    request = ctx.request
+    with AttachedTable(ctx.blocks[index]) as attached:
+        rows = attached.table.slice(row_start, row_stop)
+        if ctx.db_bloom is not None:
+            with AttachedBloom(ctx.db_bloom) as db_bloom:
                 wire, after_predicates, after_bloom = \
-                    JenWorker.process_rows(rows, task.request,
-                                           db_bloom=db_bloom)
+                    JenWorker.process_rows(rows, request, db_bloom=db_bloom)
         else:
             wire, after_predicates, after_bloom = \
-                JenWorker.process_rows(rows, task.request)
+                JenWorker.process_rows(rows, request)
         counts: Optional[Tuple[int, ...]] = None
-        if (task.num_partitions is not None
-                and task.request.join_key is not None):
+        if (ctx.num_partitions is not None
+                and request.join_key is not None):
             assignments = agreed_hash_partition(
-                wire.column(task.request.join_key), task.num_partitions
+                wire.column(request.join_key), ctx.num_partitions
             )
-            parts = partition_table(wire, assignments,
-                                    task.num_partitions)
+            parts = partition_table(wire, assignments, ctx.num_partitions)
             counts = tuple(part.num_rows for part in parts)
             wire = Table.concat(parts)
         handle = export_table(wire, allocator)
     return ScanMorselResult(
-        tag=task.tag,
+        tag=tag,
         handle=handle,
         counts=counts,
-        rows_scanned=task.row_stop - task.row_start,
+        rows_scanned=row_stop - row_start,
         rows_after_predicates=after_predicates,
         rows_after_bloom=after_bloom,
+        body_seconds=time.perf_counter() - started,
     )
 
 
 # ----------------------------------------------------------------------
 # Local join + partial aggregation (one worker slot)
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
-class JoinSlotTask:
-    """One worker's build/probe sides through join + partial aggregate."""
-
-    tag: int
-    l_part: TableHandle
-    t_part: TableHandle
-    query: HybridQuery
-    memory_budget_rows: float
-    env: TaskEnv
-
-
 @dataclass(frozen=True)
 class JoinSlotResult:
     """One slot's partial aggregate plus its volume accounting."""
@@ -257,25 +395,28 @@ class JoinSlotResult:
     join_output_tuples: int
     spilled_tuples: int
     num_fragments: int
+    body_seconds: float
 
 
-def run_join_slot(task: JoinSlotTask) -> JoinSlotResult:
+def _run_join_slot(ctx: TaskContext, tag, index: int,
+                   _row_start: int, _row_stop: int) -> JoinSlotResult:
     """Worker body: identical to the engine's sequential slot loop."""
-    _enter_task_env(task.env)
+    started = time.perf_counter()
+    _enter_task_env(ctx.env)
     from repro.jen.exchange import final_aggregate
     from repro.jen.spill import fragment_tables, plan_spill
     from repro.kernels import kernels_enabled
     from repro.kernels.joinindex import JoinBuildIndex
     from repro.query.plan import local_join, local_partial_aggregate
 
-    allocator = _result_allocator(task.env.prefix)
-    query = task.query
-    with AttachedTable(task.l_part) as l_attached, \
-            AttachedTable(task.t_part) as t_attached:
+    allocator = _result_allocator(ctx.env.prefix)
+    query = ctx.query
+    with AttachedTable(ctx.blocks[2 * index]) as l_attached, \
+            AttachedTable(ctx.blocks[2 * index + 1]) as t_attached:
         l_part = l_attached.table
         t_part = t_attached.table
         plan = plan_spill(
-            l_part.num_rows, t_part.num_rows, task.memory_budget_rows
+            l_part.num_rows, t_part.num_rows, ctx.memory_budget_rows
         )
         build_index = None
         if not plan.spilled and kernels_enabled():
@@ -297,13 +438,14 @@ def run_join_slot(task: JoinSlotTask) -> JoinSlotResult:
         partial = final_aggregate(worker_partials, query)
         handle = export_table(partial, allocator)
         return JoinSlotResult(
-            tag=task.tag,
+            tag=index,
             handle=handle,
             build_tuples=l_part.num_rows,
             probe_tuples=t_part.num_rows,
             join_output_tuples=join_output,
             spilled_tuples=plan.spilled_tuples(),
             num_fragments=plan.num_fragments,
+            body_seconds=time.perf_counter() - started,
         )
 
 
@@ -311,31 +453,37 @@ def run_join_slot(task: JoinSlotTask) -> JoinSlotResult:
 # Database partition scan (EDW side)
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
-class DbFilterTask:
-    """One DB worker's partition through predicate + projection."""
-
-    tag: int
-    partition: TableHandle
-    predicate: Predicate
-    projection: Tuple[str, ...]
-    env: TaskEnv
-
-
-@dataclass(frozen=True)
 class DbFilterResult:
     """One partition's filtered/projected rows."""
 
     tag: int
     handle: TableHandle
+    body_seconds: float
 
 
-def run_db_filter(task: DbFilterTask) -> DbFilterResult:
+def _run_db_filter(ctx: TaskContext, tag, index: int,
+                   _row_start: int, _row_stop: int) -> DbFilterResult:
     """Worker body: the DbWorker scan over one shipped partition."""
-    _enter_task_env(task.env)
-    allocator = _result_allocator(task.env.prefix)
-    with AttachedTable(task.partition) as attached:
+    started = time.perf_counter()
+    _enter_task_env(ctx.env)
+    allocator = _result_allocator(ctx.env.prefix)
+    with AttachedTable(ctx.blocks[index]) as attached:
         result = DbWorker.filter_rows(
-            attached.table, task.predicate, list(task.projection)
+            attached.table, ctx.predicate, list(ctx.projection)
         )
         handle = export_table(result, allocator)
-    return DbFilterResult(tag=task.tag, handle=handle)
+    return DbFilterResult(
+        tag=index, handle=handle,
+        body_seconds=time.perf_counter() - started,
+    )
+
+
+def _run_noop(_ctx, _tag, index: int, _row_start: int, _row_stop: int):
+    """Dispatch-overhead probe body: touch nothing, return the index."""
+    return index
+
+
+register_task_body(KIND_SCAN, _run_scan_morsel)
+register_task_body(KIND_JOIN, _run_join_slot)
+register_task_body(KIND_DB_FILTER, _run_db_filter)
+register_task_body(KIND_NOOP, _run_noop)

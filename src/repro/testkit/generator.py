@@ -512,6 +512,142 @@ def default_grid(seed: int = 2015) -> List[Tuple[DataCase, ConfigCell]]:
     return grid
 
 
+@dataclass(frozen=True)
+class SharedPoolStream:
+    """One concurrent query stream of a shared-pool grid block."""
+
+    tenant: str
+    priority: int
+    case: DataCase
+    cell: ConfigCell
+
+    def label(self) -> str:
+        return f"{self.tenant}:{self.case.name}:{self.cell.label()}"
+
+
+def shared_pool_grid(seed: int = 2015
+                     ) -> List[Tuple[str, List[SharedPoolStream]]]:
+    """Blocks of concurrent streams for one shared process pool.
+
+    Each block is a named list of streams that run *simultaneously*
+    (one thread each) against one installed
+    :class:`~repro.parallel.sharedpool.SharedProcessPool`, so freed
+    worker slots are genuinely stolen across queries.  The axes:
+    distinct tenants, mixed priorities, and every fault plan paired
+    with a clean process-backend neighbour (a fault-armed stream falls
+    back to the sequential path by design, but it still runs
+    concurrently — its crashes and retries must never corrupt the
+    neighbour sharing the pool).  Every stream must stay oracle-equal.
+    """
+    base = generate_data_case(seed)
+    second = generate_data_case(seed + 1)
+    blocks: List[Tuple[str, List[SharedPoolStream]]] = [
+        ("two-tenant-clean", [
+            SharedPoolStream("alpha", 0, base, ConfigCell(
+                "repartition", workers=4, backend="process")),
+            SharedPoolStream("beta", 0, second, ConfigCell(
+                "zigzag", workers=4, backend="process")),
+        ]),
+        ("priority-mix", [
+            SharedPoolStream("alpha", 0, base, ConfigCell(
+                "repartition(BF)", workers=4, backend="process")),
+            SharedPoolStream("beta", 1, base, ConfigCell(
+                "broadcast", workers=4, backend="process")),
+            SharedPoolStream("gamma", 1, second, ConfigCell(
+                "semijoin", workers=4, backend="process")),
+        ]),
+    ]
+    for fault_spec in FAULT_AXIS:
+        blocks.append((f"faults[{fault_spec}]", [
+            SharedPoolStream("faulty", 0, base, ConfigCell(
+                "repartition", workers=30, fault_spec=fault_spec,
+                backend="process")),
+            SharedPoolStream("clean", 0, second, ConfigCell(
+                "semijoin", workers=4, backend="process")),
+        ]))
+    return blocks
+
+
+def run_shared_pool_block(streams: Sequence[SharedPoolStream],
+                          pool_workers: int = 2) -> Dict[str, Table]:
+    """Run a block's streams concurrently on one shared pool.
+
+    Installs a fresh :class:`~repro.parallel.sharedpool
+    .SharedProcessPool` for every engine call site, runs each stream in
+    its own thread under its :func:`repro.parallel.task_origin`, and
+    restores the backend toggle and installed override on every exit
+    path.  Returns ``{stream.label(): result_table}``; re-raises the
+    first stream failure.  The pool's session prefix must hold no
+    leaked segments afterwards (asserted here, not left to callers).
+    """
+    import threading
+
+    from repro import parallel
+    from repro.parallel import (
+        SharedProcessPool,
+        install_backend,
+        leaked_segments,
+        set_execution_backend,
+    )
+
+    pool = SharedProcessPool(workers=pool_workers)
+    previous_installed = install_backend(pool)
+    previous_backend = set_execution_backend(
+        "process", workers=pool_workers)
+    results: Dict[str, Table] = {}
+    errors: Dict[str, BaseException] = {}
+
+    def run_stream(stream: SharedPoolStream) -> None:
+        warehouse = build_cell_warehouse(
+            stream.case, stream.cell.workers, stream.cell.format_name
+        )
+        try:
+            with parallel.task_origin(stream.tenant, stream.label(),
+                                      stream.priority):
+                if stream.cell.fault_spec:
+                    warehouse.arm_faults(
+                        FaultPlan.from_spec(stream.cell.fault_spec))
+                    try:
+                        run = algorithm_by_name(
+                            stream.cell.algorithm
+                        ).run(warehouse, stream.case.query)
+                    finally:
+                        warehouse.disarm_faults()
+                else:
+                    run = algorithm_by_name(stream.cell.algorithm).run(
+                        warehouse, stream.case.query
+                    )
+            results[stream.label()] = run.result
+        except BaseException as exc:  # noqa: BLE001 - reported below
+            errors[stream.label()] = exc
+
+    try:
+        threads = [
+            threading.Thread(target=run_stream, args=(stream,),
+                             name=stream.label())
+            for stream in streams
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    finally:
+        set_execution_backend(previous_backend)
+        install_backend(previous_installed)
+        pool.shutdown()
+    if errors:
+        label, exc = next(iter(errors.items()))
+        raise ServiceError(
+            f"shared-pool stream {label} failed: {exc!r}"
+        ) from exc
+    leaks = leaked_segments(pool.registry.prefix)
+    if leaks:
+        raise ServiceError(
+            f"shared-pool block leaked segments: {leaks}"
+        )
+    return results
+
+
 def wide_grid(seeds: Sequence[int]) -> List[Tuple[DataCase, ConfigCell]]:
     """The slow-marked sweep: the full axis cross per seeded case."""
     grid: List[Tuple[DataCase, ConfigCell]] = []

@@ -85,6 +85,42 @@ class TestDefaultGrid:
         )
 
 
+SHARED_POOL_GRID = generator.shared_pool_grid()
+
+
+class TestSharedPoolGrid:
+    """Concurrent streams on one shared pool stay oracle-equal.
+
+    Each block runs its streams simultaneously (one thread each)
+    against a single installed SharedProcessPool, so worker slots are
+    stolen across queries mid-block; fault-armed streams crash and
+    retry next to clean neighbours.  Every stream's result must still
+    be the oracle's row multiset, and the pool must leak nothing.
+    """
+
+    def test_grid_covers_faults_and_priorities(self):
+        names = [name for name, _ in SHARED_POOL_GRID]
+        assert any(name.startswith("faults[") for name in names)
+        streams = [s for _, block in SHARED_POOL_GRID for s in block]
+        assert {s.priority for s in streams} >= {0, 1}
+        assert len({s.tenant for s in streams}) >= 3
+
+    @pytest.mark.parametrize(
+        ("name", "streams"), SHARED_POOL_GRID,
+        ids=[name for name, _ in SHARED_POOL_GRID])
+    def test_every_stream_oracle_equal(self, name, streams):
+        results = generator.run_shared_pool_block(streams)
+        failures = []
+        for stream in streams:
+            diff = oracle.compare_tables(
+                results[stream.label()], stream.case.oracle_rows(),
+                label=f"{name}:{stream.label()}",
+            )
+            if diff is not None:
+                failures.append(diff)
+        assert not failures, "\n\n".join(failures)
+
+
 @pytest.mark.slow
 class TestWideSweep:
     """The full algorithms x axes cross over extra seeds (nightly)."""

@@ -1,0 +1,270 @@
+"""Tests for the segment pool and the shared multi-query process pool.
+
+Covers the :class:`~repro.parallel.shm.SegmentPool` lifecycle
+(reuse-after-release, banking worker-created segments, the byte-cap
+eviction path, close reclaiming everything) and the
+:class:`~repro.parallel.sharedpool.SharedProcessPool`: concurrent
+streams from many threads, cross-stream scheduling events, crash
+containment that fails only the offending stream, and — the isolation
+property the shared pool exists to protect — one tenant's worker crash
+never reclaiming another tenant's live segments.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import parallel
+from repro.errors import ParallelExecutionError
+from repro.parallel import (
+    AttachedTable,
+    SegmentPool,
+    SharedProcessPool,
+    ShmRegistry,
+    export_table,
+    leaked_segments,
+)
+from repro.parallel.shm import disown_segment, open_segment
+from repro.relational.schema import Column, DataType, Schema
+from repro.relational.table import Table
+
+
+def _int_table(num_rows: int = 256) -> Table:
+    schema = Schema([
+        Column("k", DataType.INT64),
+        Column("v", DataType.INT64),
+    ])
+    rng = np.random.default_rng(11)
+    return Table(schema, {
+        "k": np.arange(num_rows, dtype=np.int64),
+        "v": rng.integers(0, 1 << 30, num_rows).astype(np.int64),
+    })
+
+
+# Worker bodies must be importable from the pool's forked children.
+def _square(payload):
+    return payload * payload
+
+
+def _slow_square(payload):
+    time.sleep(0.01)
+    return payload * payload
+
+
+def _die(_payload):
+    os._exit(13)
+
+
+@pytest.fixture
+def registry():
+    registry = ShmRegistry()
+    yield registry
+    registry.close_all()
+    assert leaked_segments(registry.prefix) == []
+
+
+@pytest.fixture
+def shared_pool():
+    pool = SharedProcessPool(workers=2)
+    yield pool
+    pool.shutdown()
+    assert leaked_segments(pool.registry.prefix) == []
+
+
+# ----------------------------------------------------------------------
+# Segment-pool lifecycle
+# ----------------------------------------------------------------------
+class TestSegmentPoolLifecycle:
+    def test_reuse_after_release(self, registry):
+        pool = SegmentPool(registry)
+        first = pool.acquire(1000)
+        assert pool.stats["created"] == 1
+        name = first.name
+        pool.recycle(name)
+        assert pool.stats["recycled"] == 1
+        # 900 rounds to the same 1024-byte bucket: the mapped segment
+        # comes back instead of a fresh shm_open.
+        second = pool.acquire(900)
+        assert second.name == name
+        assert pool.stats["reused"] == 1
+        assert pool.stats["created"] == 1
+        pool.close()
+
+    def test_bank_adopts_worker_segment_for_reuse(self, registry):
+        pool = SegmentPool(registry)
+        # Simulate a worker-created result segment: exists in /dev/shm,
+        # disowned (outside any tracker), not yet registry-owned.
+        orphan = open_segment(f"{registry.prefix}worker0", create=True,
+                              size=8192)
+        disown_segment(orphan)
+        name = orphan.name
+        orphan.close()
+        pool.bank(name)
+        assert pool.stats["banked"] == 1
+        assert name in registry.owned_names()
+        # An exactly-bucket-sized banked segment satisfies the next
+        # acquire of its bucket.
+        reused = pool.acquire(8192)
+        assert reused.name == name
+        assert pool.stats["reused"] == 1
+        pool.close()
+
+    def test_bank_tolerates_vanished_segment(self, registry):
+        pool = SegmentPool(registry)
+        pool.bank(f"{registry.prefix}nonexistent")
+        assert pool.stats["banked"] == 0
+        pool.close()
+
+    def test_eviction_bounds_free_list_bytes(self, registry):
+        pool = SegmentPool(registry, max_bytes=4096)
+        first = pool.acquire(4096)
+        second = pool.acquire(4096)
+        pool.recycle(first.name)
+        assert pool.free_bytes() == 4096
+        # The cap is full: the second recycle unlinks instead of parking.
+        pool.recycle(second.name)
+        assert pool.stats["evicted"] == 1
+        assert pool.free_bytes() == 4096
+        pool.close()
+
+    def test_close_reclaims_free_and_busy(self, registry):
+        pool = SegmentPool(registry)
+        busy = pool.acquire(2048)
+        parked = pool.acquire(2048)
+        pool.recycle(parked.name)
+        assert busy.name in pool.busy_names()
+        pool.close()
+        assert leaked_segments(registry.prefix) == []
+
+
+# ----------------------------------------------------------------------
+# Shared multi-query pool
+# ----------------------------------------------------------------------
+class TestSharedProcessPool:
+    def test_empty_batch(self, shared_pool):
+        assert shared_pool.run_all(_square, []) == []
+        assert list(shared_pool.run_unordered(_square, [])) == []
+
+    def test_concurrent_streams_each_correct(self, shared_pool):
+        parallel.drain_pool_events()
+        results = {}
+        errors = []
+
+        def stream(index):
+            try:
+                with parallel.task_origin(f"tenant{index}", f"s{index}"):
+                    results[index] = shared_pool.run_all(
+                        _slow_square, list(range(20)))
+            except BaseException as exc:  # pragma: no cover - fail fast
+                errors.append(exc)
+
+        threads = [threading.Thread(target=stream, args=(i,))
+                   for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        expected = [i * i for i in range(20)]
+        assert all(results[i] == expected for i in range(4))
+        # 4 streams x 20 tasks into 2 slots: tasks waited, and freed
+        # slots were handed across streams (work stealing).
+        events = {event for event, _ in parallel.drain_pool_events()}
+        assert "contention" in events
+        assert "cross_stream_dispatch" in events
+
+    def test_run_unordered_yields_full_multiset(self, shared_pool):
+        with parallel.task_origin("t0", "unordered"):
+            got = sorted(shared_pool.run_unordered(
+                _square, list(range(16))))
+        assert got == [i * i for i in range(16)]
+
+    def test_crash_fails_only_its_stream(self, shared_pool):
+        parallel.drain_pool_events()
+        outcome = {}
+
+        def victim():
+            try:
+                with parallel.task_origin("victim", "bad"):
+                    shared_pool.run_all(_die, [None, None])
+                outcome["victim"] = "no-error"
+            except ParallelExecutionError:
+                outcome["victim"] = "failed-as-expected"
+
+        def innocent():
+            with parallel.task_origin("innocent", "good"):
+                outcome["innocent"] = shared_pool.run_all(
+                    _slow_square, list(range(40)))
+
+        threads = [threading.Thread(target=victim),
+                   threading.Thread(target=innocent)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert outcome["victim"] == "failed-as-expected"
+        assert outcome["innocent"] == [i * i for i in range(40)]
+        events = {event for event, _ in parallel.drain_pool_events()}
+        assert "executor_rebuild" in events
+        # The pool stays usable on the rebuilt executor.
+        assert shared_pool.run_all(_square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_crash_never_reclaims_other_tenants_live_segments(
+            self, shared_pool):
+        table = _int_table()
+        handle = export_table(table, shared_pool.registry)
+        assert handle.segment is not None
+        with pytest.raises(ParallelExecutionError):
+            with parallel.task_origin("crasher", "bad"):
+                shared_pool.run_all(_die, [None])
+        # The crash tore down and rebuilt the executor and queued an
+        # orphan sweep — but the other tenant's registry-owned export
+        # must still attach and round-trip bit-identically.
+        with AttachedTable(handle) as attached:
+            survived = attached.materialize()
+        assert survived.num_rows == table.num_rows
+        np.testing.assert_array_equal(
+            survived.column("v"), table.column("v"))
+        shared_pool.pool.release(handle.segment)
+
+    def test_deferred_sweep_reclaims_orphans_once_idle(self, shared_pool):
+        # Warm the executor so the crash has a pool to break.
+        shared_pool.run_all(_square, [1])
+        orphan = open_segment(
+            f"{shared_pool.registry.prefix}deadworker", create=True,
+            size=64)
+        disown_segment(orphan)
+        orphan.close()
+        with pytest.raises(ParallelExecutionError):
+            with parallel.task_origin("crasher", "bad"):
+                shared_pool.run_all(_die, [None])
+        # The sweep runs from the last completion callback once no
+        # stream is active and no slot is busy; poll briefly.
+        deadline = time.monotonic() + 5.0
+        name = f"{shared_pool.registry.prefix}deadworker"
+        while time.monotonic() < deadline:
+            if name not in leaked_segments(shared_pool.registry.prefix):
+                break
+            time.sleep(0.02)
+        assert name not in leaked_segments(shared_pool.registry.prefix)
+
+    def test_stats_snapshot_reports_queue_and_segment_counters(
+            self, shared_pool):
+        shared_pool.run_all(_square, [1, 2])
+        snapshot = shared_pool.stats_snapshot()
+        assert snapshot["pending"] == 0
+        assert snapshot["slots_busy"] == 0
+        assert snapshot["active_streams"] == 0
+        assert "created" in snapshot and "reused" in snapshot
+
+    def test_shutdown_is_idempotent(self):
+        pool = SharedProcessPool(workers=2)
+        pool.run_all(_square, [3])
+        pool.shutdown()
+        pool.shutdown()
+        assert leaked_segments(pool.registry.prefix) == []
