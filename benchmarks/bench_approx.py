@@ -1,0 +1,25 @@
+"""Approximate-join benchmark (thin wrapper).
+
+Times are *simulated* seconds from the priced traces — deterministic,
+so ``--check`` gates on exact numbers: every reported confidence
+interval must contain the reference answer, the rate-1.0 cell must be
+bit-exact, and every sample rate at or below 25% must be no slower
+than exact repartition (on the scan-dominated workload it is several
+times faster)::
+
+    PYTHONPATH=src python benchmarks/bench_approx.py \
+        --out benchmarks/results/BENCH_approx.json
+
+    # CI smoke: the 25% cell only, gated on the checked-in baseline
+    PYTHONPATH=src python benchmarks/bench_approx.py --quick \
+        --check benchmarks/results/BENCH_approx.json
+
+See :mod:`repro.bench.approx` for what is measured.
+"""
+
+import sys
+
+from repro.bench.approx import main
+
+if __name__ == "__main__":
+    sys.exit(main())

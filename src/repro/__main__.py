@@ -122,8 +122,21 @@ def _cmd_serve(args) -> int:
             arrival_gap=args.arrival_gap, tenants=args.tenants,
             seed=args.seed,
         )
+        approx_policy = None
+        if args.approx_rate is not None or args.approx_max_error is not None:
+            from repro.approx import ApproxPolicy
+
+            approx_policy = ApproxPolicy(
+                sample_rate=(
+                    0.25 if args.approx_rate is None else args.approx_rate
+                ),
+                confidence=args.approx_confidence,
+                max_error=args.approx_max_error,
+            )
         config = ServiceConfig(admission=AdmissionConfig(slots=args.slots),
-                               enable_adaptive=args.adaptive)
+                               enable_adaptive=args.adaptive,
+                               approx_degrade=args.approx_degrade,
+                               approx_policy=approx_policy)
     except ServiceError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -155,6 +168,58 @@ def _cmd_serve(args) -> int:
         if args.backend == "process":
             parallel.shutdown_backend()
     print(report.render())
+    return 0
+
+
+def _cmd_approx(args) -> int:
+    from repro.approx import ApproxJoin
+
+    warehouse, workload = _demo_warehouse()
+    query = build_paper_query(workload)
+    progressive = args.progressive or args.max_error is not None
+    try:
+        join = ApproxJoin(
+            sample_rate=args.rate, confidence=args.confidence,
+            seed=args.seed, progressive=progressive,
+            max_error=args.max_error, use_bloom=args.bloom,
+        )
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result = join.run(warehouse, query)
+    report = result.trace.metadata["approx"]
+
+    print(f"approximate {'progressive ' if progressive else ''}join on "
+          f"the demo warehouse (rate {args.rate:g}, "
+          f"confidence {args.confidence:g})")
+    print(f"scanned {report['blocks_scanned']}/{report['blocks_total']} "
+          f"blocks ({report['fraction_scanned']:.0%}), "
+          f"simulated {result.total_seconds:.1f}s"
+          + (" — exact" if report["exact"] else ""))
+    if progressive:
+        print("\nrefinement stream:")
+        for snap in join.last_snapshots:
+            error = snap.max_relative_error()
+            error_text = f"{error:8.1%}" if error != float("inf") \
+                else "     inf"
+            print(f"  {snap.blocks_scanned:3d}/{snap.blocks_total} blocks "
+                  f"({snap.fraction_scanned:4.0%})  "
+                  f"max relative error {error_text}")
+    print("\nestimates:")
+    for cell in report["cells"]:
+        group = ",".join(str(v) for v in cell["group"])
+        if cell["exact"]:
+            interval = "exact"
+        elif cell["half_width"] == float("inf"):
+            interval = "no interval yet"
+        else:
+            interval = (f"[{cell['lower']:.1f}, {cell['upper']:.1f}] "
+                        f"@ {args.confidence:.0%}")
+        print(f"  {group:<24s} {cell['aggregate']:<22s} "
+              f"{cell['estimate']:12.1f}  {interval}")
+    if report["unsupported"]:
+        print("\nno closed-form interval (sampled extremes): "
+              + ", ".join(report["unsupported"]))
     return 0
 
 
@@ -328,10 +393,46 @@ def main(argv=None) -> int:
                               help="execution backend for query "
                                    "execution (process = real "
                                    "multiprocessing pool)")
+    serve_parser.add_argument(
+        "--approx-degrade", action="store_true",
+        help="shed overload to the approximate tier instead of "
+             "rejecting best-effort queries")
+    serve_parser.add_argument(
+        "--approx-rate", type=float, default=None,
+        help="degraded-tier block sampling rate (default 0.25)")
+    serve_parser.add_argument(
+        "--approx-confidence", type=float, default=0.95,
+        help="degraded-tier interval confidence")
+    serve_parser.add_argument(
+        "--approx-max-error", type=float, default=None,
+        help="degraded-tier relative-error target (enables "
+             "progressive refinement until met)")
     serve_parser.add_argument("--pool-workers", type=int, default=None,
                               help="process-pool size for "
                                    "--backend process (default: host "
                                    "core count)")
+
+    approx_parser = subparsers.add_parser(
+        "approx", help="run a sampled (approximate) join on the demo "
+                       "warehouse and print confidence intervals"
+    )
+    approx_parser.add_argument("--rate", type=float, default=0.25,
+                               help="fraction of HDFS blocks to scan")
+    approx_parser.add_argument("--confidence", type=float, default=0.95,
+                               help="interval confidence "
+                                    "(0.90, 0.95 or 0.99)")
+    approx_parser.add_argument("--seed", type=int, default=11,
+                               help="block-sampling seed")
+    approx_parser.add_argument("--progressive", action="store_true",
+                               help="stream refining snapshots block "
+                                    "batch by block batch")
+    approx_parser.add_argument("--max-error", type=float, default=None,
+                               help="stop early once every interval's "
+                                    "relative half-width is below this "
+                                    "(implies --progressive)")
+    approx_parser.add_argument("--bloom", action="store_true",
+                               help="push a bloom filter of the EDW "
+                                    "join keys into the HDFS scan")
 
     chaos_parser = subparsers.add_parser(
         "chaos", help="run the workload under an injected fault plan and "
@@ -412,6 +513,7 @@ def main(argv=None) -> int:
         "demo": _cmd_demo,
         "sql": _cmd_sql,
         "serve": _cmd_serve,
+        "approx": _cmd_approx,
         "chaos": _cmd_chaos,
         "advise": _cmd_advise,
         "sweep": _cmd_sweep,

@@ -43,6 +43,13 @@ _CONTEXT = None
 #: instead of adding a second pass over the scan.
 _SKEW_DETECTOR = None
 
+#: The active per-block scan observer (approx plane); flip only through
+#: :func:`observing_blocks`.  The approximate tier arms this so the
+#: engine's own per-block seam — not a parallel bookkeeping path — is
+#: the single source of truth for how many rows/bytes a sampled scan
+#: actually touched.
+_BLOCK_OBSERVER = None
+
 
 class SwitchSignal(Exception):
     """Raised out of an engine hot loop to abandon the incumbent plan.
@@ -100,6 +107,28 @@ def detecting_skew(detector) -> Iterator[None]:
         _SKEW_DETECTOR = previous
 
 
+def block_observer_active() -> bool:
+    """True while a scan is feeding a per-block observer."""
+    return _BLOCK_OBSERVER is not None
+
+
+@contextmanager
+def observing_blocks(observer) -> Iterator[None]:
+    """Arm a per-block scan observer for the duration of the block.
+
+    ``observer`` is any callable with :func:`record_scan_block`'s
+    signature; it fires for every scanned block *before* the adaptive
+    context (if any) sees it, and regardless of whether one is armed.
+    """
+    global _BLOCK_OBSERVER
+    previous = _BLOCK_OBSERVER
+    _BLOCK_OBSERVER = observer
+    try:
+        yield
+    finally:
+        _BLOCK_OBSERVER = previous
+
+
 def record_scan_keys(keys) -> None:
     """One scanned block's surviving join keys (called from the JEN
     worker loop, right next to :func:`record_scan_block`)."""
@@ -136,6 +165,10 @@ def record_scan_block(rows_scanned: int, stored_bytes: float,
     May raise :class:`SwitchSignal` when a fractional-progress decision
     checkpoint is crossed and the re-optimizer votes to switch.
     """
+    if _BLOCK_OBSERVER is not None:
+        _BLOCK_OBSERVER(rows_scanned, stored_bytes,
+                        rows_after_predicates, rows_after_bloom,
+                        bloom_applied)
     if _CONTEXT is None:
         return
     _CONTEXT.on_scan_block(rows_scanned, stored_bytes,

@@ -1,0 +1,36 @@
+"""Approximate & progressive joins — the service plane's degraded tier.
+
+Stratified block-level sampling over the HDFS side feeds the existing
+join pipeline; closed-form estimators turn per-block group
+contributions into confidence intervals for count/sum/avg
+join-aggregates, and a progressive mode streams monotonically refining
+snapshots until an error target (or exactness) is reached.  The
+statistical contract — across seeds, the oracle answer falls inside the
+reported interval at no less than the stated rate — is enforced by
+:mod:`repro.testkit.statcheck`.
+"""
+
+from repro.approx.algorithm import ApproxJoin
+from repro.approx.estimator import (
+    ApproxEstimate,
+    CellEstimate,
+    JoinAggregateEstimator,
+    t_critical,
+)
+from repro.approx.policy import ApproxPolicy
+from repro.approx.progressive import Snapshot, SnapshotTracker, error_target_met
+from repro.approx.sampler import BlockSample, plan_block_sample
+
+__all__ = [
+    "ApproxEstimate",
+    "ApproxJoin",
+    "ApproxPolicy",
+    "BlockSample",
+    "CellEstimate",
+    "JoinAggregateEstimator",
+    "Snapshot",
+    "SnapshotTracker",
+    "error_target_met",
+    "plan_block_sample",
+    "t_critical",
+]

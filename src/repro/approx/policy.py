@@ -1,0 +1,52 @@
+"""The accuracy/latency knob of the approximate tier.
+
+An :class:`ApproxPolicy` is what a tenant (or the service operator)
+states about a degraded query: how much of the HDFS side to scan, what
+confidence the reported intervals must carry, and — optionally — a
+relative-error target that lets a progressive run stop as soon as every
+reported interval is tight enough.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ServiceError
+
+
+@dataclass(frozen=True)
+class ApproxPolicy:
+    """Per-tenant accuracy target of the degraded (approximate) tier."""
+
+    #: Fraction of HDFS blocks an approximate run scans.
+    sample_rate: float = 0.25
+    #: Stated coverage of the reported confidence intervals — the
+    #: tenant's accuracy target.  The statistical contract
+    #: (:mod:`repro.testkit.statcheck`) verifies the exact answer lands
+    #: inside the interval at no less than this rate across seeds.
+    confidence: float = 0.95
+    #: Optional relative half-width target.  When set, a progressive
+    #: run keeps refining past ``sample_rate`` until every reported
+    #: interval satisfies ``half_width <= max_error * |estimate|``
+    #: (absolute ``half_width <= max_error`` for zero estimates).
+    max_error: Optional[float] = None
+    #: Never estimate from fewer sampled blocks than this (degenerate
+    #: samples have no usable variance estimate).
+    min_blocks: int = 4
+    #: Seed of the block-sampling permutation.
+    seed: int = 11
+
+    def __post_init__(self):
+        if not 0.0 < self.sample_rate <= 1.0:
+            raise ServiceError(
+                f"sample_rate must be in (0, 1], got {self.sample_rate}"
+            )
+        if not 0.5 <= self.confidence < 1.0:
+            raise ServiceError(
+                f"confidence must be in [0.5, 1), got {self.confidence}"
+            )
+        if self.max_error is not None and self.max_error <= 0:
+            raise ServiceError("max_error must be positive when set")
+        if self.min_blocks < 1:
+            raise ServiceError("min_blocks must be >= 1")

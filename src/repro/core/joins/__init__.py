@@ -30,12 +30,15 @@ from repro.core.joins.zigzag import ZigzagJoin
 from repro.core.joins.zigzag_db import ZigzagDbJoin
 from repro.core.joins.semijoin import PerfJoin, SemiJoin
 # Registered last: the adaptive wrapper re-dispatches through the
-# registry the static algorithms just filled.
+# registry the static algorithms just filled, and the approximate join
+# layers block sampling over the shared exact plumbing.
 from repro.adaptive.algorithm import AdaptiveJoin
+from repro.approx.algorithm import ApproxJoin
 
 __all__ = [
     "ALGORITHMS",
     "AdaptiveJoin",
+    "ApproxJoin",
     "BroadcastJoin",
     "DbSideJoin",
     "JoinAlgorithm",

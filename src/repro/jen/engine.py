@@ -270,6 +270,53 @@ class Jen:
         finally:
             self._scan_depth -= 1
 
+    def scan_sampled_blocks(
+        self,
+        table_name: str,
+        request: ScanRequest,
+        blocks,
+        db_bloom: Optional[BloomFilter] = None,
+    ):
+        """Scan individual blocks one at a time, yielding per-block wire
+        tables (the approximate tier's morsel stream).
+
+        Each block runs on the worker owning its primary replica (local
+        read when the sampled node is a live worker, remote otherwise) —
+        the same locality rule the full scan's scheduler applies, so a
+        sampled scan's per-block cost profile matches a full scan's.
+        Yields ``(wire_table, ScanStats)`` per block; the consumer
+        decides when to stop drawing, which is what makes progressive
+        refinement possible.
+
+        Fault plans are deliberately unsupported: the block-at-a-time
+        stream has no work-queue recovery semantics, and a degraded
+        (approximate) run under injected faults would conflate two
+        failure domains.  Callers fall back to the exact tier instead.
+        """
+        if self._active_injector() is not None:
+            raise JoinError(
+                "sampled scans do not support armed fault plans; run the "
+                "exact tier under fault injection instead"
+            )
+        meta = self.coordinator.table_meta(table_name)
+        by_id = {worker.worker_id: worker for worker in self.workers}
+
+        def owner(block):
+            for node_id in block.replicas:
+                if node_id in by_id:
+                    return by_id[node_id]
+            return self.workers[block.block_id % len(self.workers)]
+
+        self._scan_depth += 1
+        try:
+            for block in blocks:
+                wire, stats = owner(block).scan_filter_project(
+                    meta, [block], request, db_bloom=db_bloom
+                )
+                yield wire, stats
+        finally:
+            self._scan_depth -= 1
+
     def _skew_detector(self, request: ScanRequest):
         """A fresh heavy-hitter detector, or ``None`` when not needed.
 

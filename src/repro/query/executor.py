@@ -10,6 +10,8 @@ change its result.
 
 from __future__ import annotations
 
+from typing import Dict, Tuple
+
 from repro.relational.table import Table
 from repro.query.plan import (
     apply_derivations,
@@ -40,6 +42,26 @@ def reference_join(t_table: Table, l_table: Table, query: HybridQuery
         return parallel_result
     joined = local_join(t_projected, l_wire, query)
     return local_partial_aggregate(joined, query)
+
+
+def reference_aggregate_cells(t_table: Table, l_table: Table,
+                              query: HybridQuery) -> Dict[Tuple, object]:
+    """The reference answer as a ``(group, aggregate) -> value`` map.
+
+    Same cell shape as :func:`repro.testkit.oracle.
+    oracle_aggregate_cells` but computed through the engines' shared
+    plan steps — what the approximate tier's benchmark gates check
+    interval containment against without importing the testkit.
+    """
+    result = reference_join(t_table, l_table, query)
+    n_groups = len(query.group_by)
+    names = [spec.output_name() for spec in query.aggregates]
+    cells: Dict[Tuple, object] = {}
+    for row in result.to_rows():
+        key = row[:n_groups]
+        for name, value in zip(names, row[n_groups:]):
+            cells[(key, name)] = value
+    return cells
 
 
 #: Below this many probe rows the fork/shm round trip costs more than

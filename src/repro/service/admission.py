@@ -58,6 +58,11 @@ class AdmissionConfig:
     #: Queue-depth fraction beyond which best-effort (priority > 0)
     #: arrivals are shed immediately.  None disables shedding.
     shed_fraction: Optional[float] = 0.75
+    #: Turn shedding into a degraded tier: arrivals that would be
+    #: rejected ``overload_shed`` are admitted (queued) for *approximate*
+    #: execution instead.  Interactive (priority 0) traffic is never
+    #: shed, so the exact tier is unaffected either way.
+    degrade_to_approx: bool = False
 
     def __post_init__(self):
         if self.slots < 1:
@@ -91,6 +96,9 @@ class AdmissionOutcome:
     reason: str
     queued_seconds: float
     grant: Optional[AdmissionGrant] = None
+    #: True when the slot was granted under overload for the degraded
+    #: (approximate) tier instead of being shed.
+    degraded: bool = False
 
 
 @dataclass
@@ -103,6 +111,7 @@ class _Pending:
     enqueued_at: float
     event: Event
     resolved: bool = False
+    degraded: bool = False
 
 
 class AdmissionController:
@@ -148,16 +157,23 @@ class AdmissionController:
         :class:`AdmissionOutcome` (possibly immediately)."""
         event = self.engine.event(f"admit-{tenant}")
         now = self.engine.now
+        degraded = False
         if self._shed_now(priority):
-            self._reject(event, "overload_shed", 0.0)
-            return event
+            if not self.config.degrade_to_approx:
+                self._reject(event, "overload_shed", 0.0)
+                return event
+            # Degraded tier: the query keeps its place in line but will
+            # execute approximately — overload buys latency/accuracy,
+            # not a rejection.
+            degraded = True
+            self.metrics.counter("admission.degraded_to_approx").inc()
         if len(self._pending) >= self.config.max_queue \
                 and not self._slot_available(tenant):
             self._reject(event, "queue_full", 0.0)
             return event
         pending = _Pending(
             tenant=tenant, priority=priority, seq=next(self._seq),
-            enqueued_at=now, event=event,
+            enqueued_at=now, event=event, degraded=degraded,
         )
         self._pending.append(pending)
         self._gauge_queue.set(len(self._pending))
@@ -247,4 +263,5 @@ class AdmissionController:
             pending.event.succeed(AdmissionOutcome(
                 admitted=True, reason="admitted",
                 queued_seconds=waited, grant=grant,
+                degraded=pending.degraded,
             ))

@@ -28,9 +28,10 @@ while simulated time restarts from zero for each batch.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import List, Optional, Union
+from dataclasses import dataclass, field, replace
+from typing import List, Mapping, Optional, Union
 
+from repro.approx.policy import ApproxPolicy
 from repro.core.joins import JoinResult, algorithm_by_name
 from repro.errors import FaultError, ServiceError
 from repro.query.query import HybridQuery
@@ -86,6 +87,18 @@ class ServiceConfig:
     #: instead of the per-session backend.  The pool survives drains,
     #: so later batches reuse its warmed workers and cached exports.
     shared_pool: bool = True
+    #: Degraded tier: under overload, best-effort arrivals that would be
+    #: shed are admitted for *approximate* execution instead — the
+    #: explicit latency/accuracy knob.  Degraded results carry interval
+    #: reports, never enter the result cache, and never feed the
+    #: advisor's feedback loop.
+    approx_degrade: bool = False
+    #: Service-wide accuracy target of the degraded tier (None = the
+    #: :class:`~repro.approx.policy.ApproxPolicy` defaults).
+    approx_policy: Optional[ApproxPolicy] = None
+    #: Per-tenant accuracy targets overriding ``approx_policy``.
+    approx_tenant_policies: Mapping[str, ApproxPolicy] = \
+        field(default_factory=dict)
 
 
 @dataclass
@@ -111,6 +124,11 @@ class QueryOutcome:
     queue_wait: float = 0.0
     result: Optional[Table] = None
     join_result: Optional[JoinResult] = None
+    #: True when the query executed on the degraded (approximate) tier.
+    degraded: bool = False
+    #: The approximate run's interval report (the
+    #: ``trace.metadata["approx"]`` payload); ``None`` for exact runs.
+    approx_report: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -211,6 +229,12 @@ class ServiceReport:
         for outcome in self.outcomes:
             if outcome.ok:
                 source = "cache" if outcome.cache_hit else outcome.algorithm
+                if outcome.degraded:
+                    report = outcome.approx_report or {}
+                    source = (
+                        f"~{source}@"
+                        f"{report.get('fraction_scanned', 1.0):.0%}"
+                    )
                 lines.append(
                     f"  q{outcome.ticket_id:<4d} {outcome.tenant:<10s} "
                     f"{source:<18s} wait={outcome.queue_wait:7.1f}s "
@@ -310,8 +334,12 @@ class QueryService:
             jen_slots=self.config.jen_slots,
             net_slots=self.config.net_slots,
         )
+        admission_config = self.config.admission
+        if self.config.approx_degrade:
+            admission_config = replace(admission_config,
+                                       degrade_to_approx=True)
         admission = AdmissionController(
-            engine, self.config.admission, metrics=self.metrics)
+            engine, admission_config, metrics=self.metrics)
         outcomes: List[QueryOutcome] = []
         if self.config.enable_bloom_cache:
             self.bloom_builder.install()
@@ -447,6 +475,7 @@ class QueryService:
         # with its typed FaultError.
         queue_wait = admit.queued_seconds
         retries_used = 0
+        approx_report = None
         from repro import parallel
 
         while True:
@@ -457,9 +486,14 @@ class QueryService:
                 with parallel.task_origin(ticket.tenant,
                                           f"q{ticket.id}",
                                           submission.priority):
-                    algorithm, rationale, join_result = \
-                        self._execute_data_plane(
-                            submission.query, submission.algorithm)
+                    if admit.degraded:
+                        algorithm, rationale, join_result, \
+                            approx_report = self._execute_approx(
+                                submission.query, ticket.tenant)
+                    else:
+                        algorithm, rationale, join_result = \
+                            self._execute_data_plane(
+                                submission.query, submission.algorithm)
                 break
             except FaultError as exc:
                 admission.release(admit.grant)
@@ -503,12 +537,17 @@ class QueryService:
         yield run.done
         admission.release(admit.grant)
 
-        if self.config.enable_feedback:
+        # A degraded run's answer is an estimate: it must not poison the
+        # result cache (a later exact query would get a sampled answer)
+        # nor the advisor's feedback loop (its observed volumes reflect
+        # the sample, not the query).
+        degraded = approx_report is not None
+        if self.config.enable_feedback and not degraded:
             self.feedback.record(
                 key, plan_key(submission.query, literals=False),
                 self.session.sample_estimate(submission.query), join_result,
             )
-        if self.config.enable_result_cache:
+        if self.config.enable_result_cache and not degraded:
             self.result_cache.put(key, join_result.result)
         outcome = QueryOutcome(
             ticket_id=ticket.id, tenant=ticket.tenant, status="ok",
@@ -518,6 +557,7 @@ class QueryService:
             admitted_at=submitted_at + queue_wait,
             finished_at=engine.now, queue_wait=queue_wait,
             result=join_result.result, join_result=join_result,
+            degraded=degraded, approx_report=approx_report,
         )
         self._finish(ticket, outcome, outcomes)
 
@@ -536,6 +576,50 @@ class QueryService:
             self.warehouse, query)
         self._count_fallbacks(join_result)
         return algorithm, rationale, join_result
+
+    def _execute_approx(self, query: HybridQuery, tenant: str):
+        """The degraded tier: run the query approximately.
+
+        Falls back to the exact tier (counting ``approx.unsupported``)
+        when the query or environment is outside the approximate
+        contract: min/max aggregates have no closed-form interval, and
+        an armed fault plan has no recovery semantics in the
+        block-at-a-time sampled scan.  Returns ``(algorithm, rationale,
+        join_result, approx_report)`` with ``approx_report=None`` on
+        fallback.
+        """
+        from repro.approx import ApproxJoin
+
+        policy = (
+            self.config.approx_tenant_policies.get(tenant)
+            or self.config.approx_policy
+            or ApproxPolicy()
+        )
+        injector = getattr(self.warehouse.jen, "injector", None)
+        has_extremes = any(
+            spec.function in ("min", "max") for spec in query.aggregates
+        )
+        if (injector is not None and injector.armed) or has_extremes:
+            self.metrics.counter("approx.unsupported").inc()
+            algorithm, rationale, join_result = self._execute_data_plane(
+                query, "auto")
+            return algorithm, rationale, join_result, None
+
+        algo = ApproxJoin.from_policy(
+            policy, progressive=policy.max_error is not None)
+        join_result = algo.run(self.warehouse, query)
+        self._count_fallbacks(join_result)
+        self.metrics.counter("approx.runs").inc()
+        report = join_result.trace.metadata.get("approx", {})
+        self.metrics.histogram("approx.fraction_scanned").observe(
+            report.get("fraction_scanned", 1.0))
+        rationale = (
+            f"shed to degraded tier: sample_rate={policy.sample_rate:g}, "
+            f"confidence={policy.confidence:g}"
+            + (f", max_error={policy.max_error:g}"
+               if policy.max_error is not None else "")
+        )
+        return join_result.algorithm, rationale, join_result, report
 
     def _execute_adaptive(self, query: HybridQuery):
         """Auto mode with mid-query re-optimization.

@@ -99,6 +99,12 @@ class ConfigCell:
     #: Heavy-hitter detection + hybrid shuffle + work stealing
     #: (:mod:`repro.skew`); only shuffle-using algorithms react.
     skew_handling: bool = False
+    #: Block-sampling rate for the approximate tier (only meaningful
+    #: for ``"approx"``/``"approx(BF)"`` cells).  ``1.0`` scans every
+    #: block, so the cell must be row-identical to the oracle; rates
+    #: below 1.0 carry interval semantics and are checked by the
+    #: statistical battery instead of the differential grid.
+    approx: Optional[float] = None
 
     def label(self) -> str:
         """Compact cell id for test parametrisation and repro output."""
@@ -117,6 +123,8 @@ class ConfigCell:
             )
         if self.skew_handling:
             parts.append("skew")
+        if self.approx is not None:
+            parts.append(f"approx{self.approx:g}")
         return "/".join(parts)
 
 
@@ -297,6 +305,44 @@ def skewed_case(key_skew: float, seed: int = 7) -> DataCase:
     )
 
 
+#: One pinned seed per aggregate mix the approximate tier estimates.
+#: ``count`` and ``sum`` get closed-form interval totals, ``avg`` rides
+#: the ratio estimator, ``minmax`` folds extremes without intervals —
+#: each kind exercises a different estimator path, so the grids and the
+#: statistical battery sweep all of them.
+APPROX_KINDS = ("count", "sum", "avg", "minmax")
+_APPROX_KIND_SEEDS = {"count": 12, "sum": 5, "avg": 5, "minmax": 7}
+
+
+def approx_case(kind: str, seed: Optional[int] = None) -> DataCase:
+    """A pinned case whose query exercises one aggregate kind.
+
+    The generated aggregate menu never draws ``avg``, so that kind is
+    built by replacing the pinned sum case's aggregates with an
+    ``avg`` over the same wire column (plus the count the ratio
+    estimator decomposes it into anyway).
+    """
+    if kind not in APPROX_KINDS:
+        raise KeyError(
+            f"unknown approx kind {kind!r}; have {list(APPROX_KINDS)}"
+        )
+    case = generate_data_case(
+        _APPROX_KIND_SEEDS[kind] if seed is None else seed)
+    query = case.query
+    if kind == "avg":
+        query = dataclasses.replace(query, aggregates=(
+            AggregateSpec("count"),
+            AggregateSpec("avg", "l_predAfterJoin"),
+        ))
+    return DataCase(
+        name=f"approx-{kind}" if seed is None else f"approx-{kind}{seed}",
+        t_table=case.t_table,
+        l_table=case.l_table,
+        query=query,
+        provenance=f"generator.approx_case({kind!r}, seed={seed!r})",
+    )
+
+
 def edge_case(name: str) -> DataCase:
     """One named extreme (see :func:`edge_cases` for the full set)."""
     builders = _edge_case_builders()
@@ -406,6 +452,8 @@ def run_cell(case: DataCase, cell: ConfigCell,
     algorithm_kwargs = {}
     if cell.estimate_error is not None:
         algorithm_kwargs["estimate_errors"] = cell.estimate_error
+    if cell.approx is not None:
+        algorithm_kwargs["sample_rate"] = cell.approx
     try:
         if cell.cache_warm:
             return _run_via_service(warehouse, case, cell.algorithm)
@@ -508,6 +556,17 @@ def default_grid(seed: int = 2015) -> List[Tuple[DataCase, ConfigCell]]:
             grid.append((hot, ConfigCell(
                 algorithm, workers=30, fault_spec=fault_spec,
                 skew_handling=True,
+            )))
+    # Approx axis at rate 1.0: sampling every block must reproduce the
+    # exact answer bit-for-bit on every aggregate kind, with and
+    # without the Bloom filter — the degenerate end of the statistical
+    # contract, checked with the same differential machinery as every
+    # exact cell.
+    for kind in APPROX_KINDS:
+        case = approx_case(kind)
+        for algorithm in ("approx", "approx(BF)"):
+            grid.append((case, ConfigCell(
+                algorithm, workers=4, approx=1.0,
             )))
     return grid
 

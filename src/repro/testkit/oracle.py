@@ -191,6 +191,14 @@ def oracle_execute(t_table: Table, l_table: Table,
     The pipeline mirrors the query semantics, not any engine: filter
     both sides, project, derive row-wise, dict-hash-join, apply the
     post-join predicate, group and aggregate with Python dicts.
+
+    Empty-join semantics (the contract the approximate estimators must
+    match): a join that produces no qualifying rows yields a **zero-row
+    table** with the full result schema — groups are only materialised
+    when at least one row lands in them, so there is no ``count=0`` row,
+    no ``sum`` over nothing, and ``avg`` of an empty group can only
+    arise through :func:`_finalise`'s explicit ``0.0`` convention (a
+    defensive branch; a materialised group always has ``count >= 1``).
     """
     t_side = _filter_rows(t_table, query.db_predicate)
     t_side = t_side.project(list(query.db_projection))
@@ -204,6 +212,27 @@ def oracle_execute(t_table: Table, l_table: Table,
     if query.post_join_predicate is not None:
         joined = _filter_rows(joined, query.post_join_predicate)
     return _aggregate_rowwise(joined, query)
+
+
+def oracle_aggregate_cells(t_table: Table, l_table: Table,
+                           query: HybridQuery) -> Dict[Tuple, object]:
+    """The exact answer as a ``(group, aggregate) -> value`` map.
+
+    The cell form the statistical contract consumes: each key pairs the
+    group-value tuple with one aggregate's output name, mirroring
+    :class:`repro.approx.estimator.ApproxEstimate.cells` so coverage
+    checks can line the two up directly.  An empty join yields an empty
+    map — the absence of a group *is* the exact answer for it.
+    """
+    result = oracle_execute(t_table, l_table, query)
+    n_groups = len(query.group_by)
+    names = [spec.output_name() for spec in query.aggregates]
+    cells: Dict[Tuple, object] = {}
+    for row in result.to_rows():
+        key = row[:n_groups]
+        for name, value in zip(names, row[n_groups:]):
+            cells[(key, name)] = value
+    return cells
 
 
 # ----------------------------------------------------------------------

@@ -63,7 +63,11 @@ class TestDefaultGrid:
 
     def test_grid_covers_every_metamorphic_axis(self):
         cells = [cell for _, cell in GRID]
-        assert {cell.algorithm for cell in cells} == set(ALL_ALGORITHMS)
+        # The exact roster plus the sampled tier at rate 1.0 (full
+        # sample == exact, so the oracle contract holds unchanged).
+        assert {cell.algorithm for cell in cells} == \
+            set(ALL_ALGORITHMS) | {"approx", "approx(BF)"}
+        assert {cell.approx for cell in cells} == {None, 1.0}
         assert {cell.workers for cell in cells} >= {1, 4, 30}
         assert {cell.format_name for cell in cells} >= \
             {"parquet", "text", "orc"}
