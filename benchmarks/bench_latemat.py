@@ -1,0 +1,26 @@
+"""Late-materialization benchmark (thin wrapper).
+
+Like ``bench_skew.py`` the reported times are *simulated* seconds from
+the priced traces — deterministic, so ``--check`` gates on exact
+ratios: both modes of every cell must stay oracle-identical, the
+canonical ``db`` join on the wide-selective cell must ship at least
+1.5x fewer cross-cluster bytes *and* win end-to-end time with late
+materialization on, and the advisor must accept the selective shape
+while declining the low-selectivity counter-workload::
+
+    PYTHONPATH=src python benchmarks/bench_latemat.py \
+        --out benchmarks/results/BENCH_latemat.json
+
+    # CI smoke: the gated db cell + advisor decisions only
+    PYTHONPATH=src python benchmarks/bench_latemat.py --quick \
+        --check benchmarks/results/BENCH_latemat.json
+
+See :mod:`repro.bench.latemat` for what is measured.
+"""
+
+import sys
+
+from repro.bench.latemat import main
+
+if __name__ == "__main__":
+    sys.exit(main())

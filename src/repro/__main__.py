@@ -171,6 +171,50 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_report(args) -> int:
+    import json
+
+    from repro.latemat import set_late_materialization_enabled
+    from repro.service import (
+        AdmissionConfig,
+        QueryService,
+        ServiceConfig,
+        StreamSpec,
+        generate_query_stream,
+    )
+
+    try:
+        spec = StreamSpec(
+            num_queries=args.queries, templates=args.templates,
+            arrival_gap=args.arrival_gap, tenants=args.tenants,
+            seed=args.seed,
+        )
+        config = ServiceConfig(admission=AdmissionConfig(slots=args.slots))
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    warehouse, workload = _demo_warehouse()
+    service = QueryService(warehouse, config)
+    for item in generate_query_stream(workload, spec):
+        service.submit(item.query, tenant=item.tenant, at=item.at,
+                       priority=item.priority)
+    previous = set_late_materialization_enabled(args.late_materialization)
+    try:
+        service.drain()
+    finally:
+        set_late_materialization_enabled(previous)
+    if args.json:
+        print(json.dumps(service.metrics.summary(), indent=2, sort_keys=True))
+        return 0
+    print(f"metrics summary after {args.queries} queries "
+          f"({args.tenants} tenants"
+          + (", late materialization on" if args.late_materialization
+             else "")
+          + ")\n")
+    print(service.metrics.render_report())
+    return 0
+
+
 def _cmd_approx(args) -> int:
     from repro.approx import ApproxJoin
 
@@ -412,6 +456,28 @@ def main(argv=None) -> int:
                                    "--backend process (default: host "
                                    "core count)")
 
+    report_parser = subparsers.add_parser(
+        "report", help="replay a query stream and summarize the metrics "
+                       "registry (per-tenant latency, cache hit rates, "
+                       "bytes shipped)"
+    )
+    report_parser.add_argument("--queries", type=int, default=24,
+                               help="stream length")
+    report_parser.add_argument("--templates", type=int, default=4,
+                               help="distinct query templates")
+    report_parser.add_argument("--tenants", type=int, default=2)
+    report_parser.add_argument("--slots", type=int, default=8,
+                               help="admission slots (max in-flight)")
+    report_parser.add_argument("--arrival-gap", type=float, default=5.0,
+                               help="simulated seconds between arrivals")
+    report_parser.add_argument("--seed", type=int, default=11)
+    report_parser.add_argument("--late-materialization",
+                               action="store_true",
+                               help="run the stream with thin-row "
+                                    "shipping + payload stitch enabled")
+    report_parser.add_argument("--json", action="store_true",
+                               help="emit the summary as JSON")
+
     approx_parser = subparsers.add_parser(
         "approx", help="run a sampled (approximate) join on the demo "
                        "warehouse and print confidence intervals"
@@ -513,6 +579,7 @@ def main(argv=None) -> int:
         "demo": _cmd_demo,
         "sql": _cmd_sql,
         "serve": _cmd_serve,
+        "report": _cmd_report,
         "approx": _cmd_approx,
         "chaos": _cmd_chaos,
         "advise": _cmd_advise,

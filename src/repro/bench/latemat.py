@@ -1,0 +1,406 @@
+"""Late-materialization benchmark: bytes shipped and e2e time, on/off.
+
+Two deterministic cells on a bandwidth-constrained hybrid link (the
+25 MB/s cross-cluster switch that motivates frugal data movement in
+the first place):
+
+* **wide-selective** — both tables clustered by the join key, wide
+  payload columns that the group-by and aggregates genuinely need, and
+  a selective join (most shipped rows do not survive).  Thin
+  ``(join_key, rowid)`` rows move first and only survivors fetch their
+  payload back in whole pages, so late materialization must cut the
+  cross-cluster bytes of the canonical ``db`` join by at least
+  :data:`CROSS_BYTES_FLOOR` *and* win end-to-end simulated time.
+* **low-selectivity counter** — the same query shape with ~90% of the
+  rows surviving the join on unclustered tables.  Deferring payloads
+  just adds a second, page-amplified round trip; the run is measured
+  (forced on, so the loss is on the record) and the advisor must
+  *decline* late materialization for this shape.
+
+Both modes of every measured run are verified against the single-node
+oracle before anything is recorded.  All times are simulated and
+deterministic, so ``--check`` gates on ratios against the checked-in
+baseline plus the hard floors above::
+
+    PYTHONPATH=src python benchmarks/bench_latemat.py \
+        --out benchmarks/results/BENCH_latemat.json
+
+    # CI smoke: the gated db cell + advisor decisions only
+    PYTHONPATH=src python benchmarks/bench_latemat.py --quick \
+        --check benchmarks/results/BENCH_latemat.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import pathlib
+import sys
+from typing import Dict, List, Optional
+
+import numpy as np
+
+#: Hard acceptance floor: the gated algorithm must ship at least this
+#: factor fewer cross-cluster bytes with late materialization on.
+CROSS_BYTES_FLOOR = 1.5
+
+#: The algorithm the hard gates read; the others are informational.
+GATED_ALGORITHM = "db"
+
+#: Algorithms measured in full mode.  ``db``/``db(BF)``/``zigzag-db``
+#: stitch with one global key prune; ``broadcast`` exercises the
+#: per-slot stitch of the HDFS-side engine.
+ALGORITHMS = ("db", "db(BF)", "zigzag-db", "broadcast")
+
+#: JEN workers (= DB workers) for the bench warehouses.
+WORKERS = 8
+
+#: Cross-cluster switch bandwidth (bytes/s) — a constrained link, so
+#: transfer volume actually shows up in the end-to-end time.
+SWITCH_BYTES_PER_S = 25.0 * 1024 * 1024
+
+
+def _bench_query(workload):
+    """The wide-payload query: every shipped column is provably needed.
+
+    The group-by needs ``t_dummy1`` (a 30-byte dictionary string) and
+    the derived ``l_urlPrefix``; the aggregates need ``t_uniqKey``
+    (int64), ``t_dummy3`` and both date columns — so classic mode must
+    ship every one of them for every row, while late materialization
+    ships 12-byte thin rows and fetches payloads only for survivors.
+    """
+    from repro.relational.aggregates import AggregateSpec
+    from repro.workload import build_paper_query
+
+    query = build_paper_query(workload)
+    return dataclasses.replace(
+        query,
+        db_projection=("joinKey", "predAfterJoin", "uniqKey", "dummy1",
+                       "dummy3"),
+        group_by=("l_urlPrefix", "t_dummy1"),
+        aggregates=(
+            AggregateSpec("count"),
+            AggregateSpec("max", "t_uniqKey"),
+            AggregateSpec("sum", "t_dummy3"),
+            AggregateSpec("min", "t_predAfterJoin"),
+        ),
+    )
+
+
+def _sorted_by_key(table, key: str):
+    """The table clustered on the join key (stable, order-preserving)."""
+    return table.take(np.argsort(table.column(key), kind="stable"))
+
+
+def _make_case(name: str, sigma_t: float, sigma_l: float, s_t: float,
+               s_l: float, clustered: bool):
+    from repro.testkit.generator import DataCase
+    from repro.workload import WorkloadSpec, generate_workload
+
+    workload = generate_workload(WorkloadSpec(
+        sigma_t=sigma_t, sigma_l=sigma_l, s_t=s_t, s_l=s_l,
+        t_rows=4_000, l_rows=12_000, n_keys=400, n_urls=40, seed=77,
+    ))
+    t_table, l_table = workload.t_table, workload.l_table
+    if clustered:
+        t_table = _sorted_by_key(t_table, "joinKey")
+        l_table = _sorted_by_key(l_table, "joinKey")
+    return DataCase(
+        name=name,
+        t_table=t_table,
+        l_table=l_table,
+        query=_bench_query(workload),
+        provenance=f"bench.latemat/{name}",
+    )
+
+
+def wide_selective_case():
+    """Clustered tables, wide payloads, selective join: latemat wins."""
+    return _make_case("wide-selective", sigma_t=0.3, sigma_l=0.1,
+                      s_t=0.3, s_l=0.2, clustered=True)
+
+
+def low_selectivity_case():
+    """Unclustered tables where ~90% of rows survive: latemat loses."""
+    return _make_case("low-selectivity", sigma_t=0.3, sigma_l=0.1,
+                      s_t=0.9, s_l=0.9, clustered=False)
+
+
+def _bench_warehouse(case):
+    from repro.net.topology import default_topology
+    from repro.testkit.generator import build_cell_warehouse
+
+    warehouse = build_cell_warehouse(case, WORKERS, "parquet")
+    cluster = dataclasses.replace(
+        warehouse.config.cluster, switch_bytes_per_s=SWITCH_BYTES_PER_S,
+    )
+    warehouse.config = dataclasses.replace(
+        warehouse.config, cluster=cluster)
+    warehouse.topology = default_topology(cluster)
+    return warehouse
+
+
+def _run_cell(case, warehouse, reference, algorithm: str) -> Dict:
+    from repro import algorithm_by_name
+    from repro.latemat import set_late_materialization_enabled
+    from repro.testkit import oracle
+
+    cell: Dict[str, object] = {}
+    for label, enabled in (("off", False), ("on", True)):
+        previous = set_late_materialization_enabled(enabled)
+        try:
+            run = algorithm_by_name(algorithm).run(warehouse, case.query)
+        finally:
+            set_late_materialization_enabled(previous)
+        diff = oracle.compare_tables(
+            run.result, reference,
+            label=f"{algorithm}/{case.name}/latemat-{label}",
+        )
+        if diff is not None:
+            raise AssertionError(diff)
+        shipped = run.trace.metadata["bytes_shipped"]
+        cell[label] = {
+            "cross_cluster_bytes": round(shipped["cross_cluster"]),
+            "total_bytes": round(shipped["total"]),
+            "stitch_bytes": round(shipped.get("stitch", 0.0)),
+            "e2e_seconds": round(run.timing.total_seconds, 3),
+            "encoded_wire_bytes": round(run.stats.encoded_wire_bytes),
+            "oracle_identical": True,
+        }
+    off, on = cell["off"], cell["on"]
+    cell["cross_bytes_ratio"] = round(
+        off["cross_cluster_bytes"] / max(on["cross_cluster_bytes"], 1), 3)
+    cell["total_bytes_ratio"] = round(
+        off["total_bytes"] / max(on["total_bytes"], 1), 3)
+    cell["e2e_speedup"] = round(
+        off["e2e_seconds"] / max(on["e2e_seconds"], 1e-9), 3)
+    return cell
+
+
+def _advisor_decisions() -> Dict[str, Dict]:
+    """The advisor's verdicts on both workload shapes (toggle armed).
+
+    The advisor prices at paper scale with the same constrained
+    cross-cluster switch the bench cells run on — on the default (fast)
+    switch the per-tuple export rate dominates and deferring payloads
+    never pays, which is itself the correct answer there.
+    """
+    from repro.config import HybridConfig
+    from repro.core.advisor import JoinAdvisor, WorkloadEstimate
+    from repro.latemat import set_late_materialization_enabled
+
+    config = HybridConfig()
+    cluster = dataclasses.replace(
+        config.cluster, switch_bytes_per_s=SWITCH_BYTES_PER_S)
+    advisor = JoinAdvisor(dataclasses.replace(config, cluster=cluster))
+    estimates = {
+        "wide_selective": WorkloadEstimate(
+            t_rows=200e6, l_rows=600e6,
+            sigma_t=0.3, sigma_l=0.1, s_t=0.3, s_l=0.2,
+            t_wire_bytes=50.0, l_wire_bytes=32.0,
+            t_key_clustered=True, l_key_clustered=True,
+        ),
+        "low_selectivity": WorkloadEstimate(
+            t_rows=200e6, l_rows=600e6,
+            sigma_t=0.3, sigma_l=0.1, s_t=0.9, s_l=0.9,
+            t_wire_bytes=50.0, l_wire_bytes=32.0,
+        ),
+    }
+    previous = set_late_materialization_enabled(True)
+    try:
+        decisions = {
+            name: advisor.late_materialization_decision(est)
+            for name, est in estimates.items()
+        }
+    finally:
+        set_late_materialization_enabled(previous)
+    return {
+        name: {
+            "use": decision.use,
+            "classic_seconds": round(decision.classic_seconds, 1),
+            "latemat_seconds": round(decision.latemat_seconds, 1),
+            "rationale": decision.rationale,
+        }
+        for name, decision in decisions.items()
+    }
+
+
+def run_latemat_bench(quick: bool = False) -> Dict:
+    algorithms = (GATED_ALGORITHM,) if quick else ALGORITHMS
+    cells: Dict[str, Dict] = {}
+
+    case = wide_selective_case()
+    reference = case.oracle_rows()
+    warehouse = _bench_warehouse(case)
+    cells["wide-selective"] = {
+        algorithm: _run_cell(case, warehouse, reference, algorithm)
+        for algorithm in algorithms
+    }
+    if not quick:
+        counter = low_selectivity_case()
+        counter_reference = counter.oracle_rows()
+        counter_warehouse = _bench_warehouse(counter)
+        cells["low-selectivity"] = {
+            algorithm: _run_cell(
+                counter, counter_warehouse, counter_reference, algorithm,
+            )
+            for algorithm in (GATED_ALGORITHM, "repartition")
+        }
+    return {
+        "benchmark": "latemat",
+        "mode": "quick" if quick else "full",
+        "workers": WORKERS,
+        "switch_bytes_per_s": SWITCH_BYTES_PER_S,
+        "cross_bytes_floor": CROSS_BYTES_FLOOR,
+        "gated_algorithm": GATED_ALGORITHM,
+        "cells": cells,
+        "advisor": _advisor_decisions(),
+    }
+
+
+def render(payload: Dict) -> str:
+    lines = [
+        f"late-materialization benchmark ({payload['mode']} mode, "
+        f"{payload['workers']} workers, "
+        f"{payload['switch_bytes_per_s'] / (1024 * 1024):g} MB/s "
+        "cross-cluster switch)",
+        "",
+    ]
+    header = (f"{'cell':<34} {'cross off':>10} {'cross on':>10} "
+              f"{'ratio':>6} {'e2e off':>8} {'e2e on':>8} {'speedup':>8}")
+    lines += [header, "-" * len(header)]
+    for case_name, algorithms in payload["cells"].items():
+        for algorithm, cell in algorithms.items():
+            off, on = cell["off"], cell["on"]
+            lines.append(
+                f"{case_name + ' / ' + algorithm:<34} "
+                f"{off['cross_cluster_bytes']:>10d} "
+                f"{on['cross_cluster_bytes']:>10d} "
+                f"{cell['cross_bytes_ratio']:>5.2f}x "
+                f"{off['e2e_seconds']:>7.1f}s "
+                f"{on['e2e_seconds']:>7.1f}s "
+                f"{cell['e2e_speedup']:>7.2f}x"
+            )
+    lines.append("")
+    for name, decision in payload["advisor"].items():
+        verdict = "USE" if decision["use"] else "DECLINE"
+        lines.append(
+            f"advisor[{name}]: {verdict} "
+            f"(classic {decision['classic_seconds']:g}s vs latemat "
+            f"{decision['latemat_seconds']:g}s) — {decision['rationale']}"
+        )
+    return "\n".join(lines)
+
+
+def check_regression(current: Dict, baseline: Dict,
+                     allowed_factor: float = 2.0) -> List[str]:
+    """Hard floors plus ratio gates vs the checked-in baseline.
+
+    The acceptance bar does not soften with the baseline: the gated
+    algorithm on the wide-selective cell must cut cross-cluster bytes
+    by :data:`CROSS_BYTES_FLOOR` *and* win end-to-end time, and the
+    advisor must accept the selective shape while declining the
+    low-selectivity one.  On top of that, ratios may not fall below
+    ``baseline / allowed_factor`` — a deliberate re-pricing elsewhere
+    will not trip the gate, a real latemat regression will.
+    """
+    failures: List[str] = []
+    gated = current.get("gated_algorithm", GATED_ALGORITHM)
+    for case_name, algorithms in current.get("cells", {}).items():
+        for algorithm, cell in algorithms.items():
+            for mode in ("off", "on"):
+                if not cell[mode]["oracle_identical"]:
+                    failures.append(
+                        f"{case_name}/{algorithm}/{mode}: diverged "
+                        "from the oracle")
+            if case_name != "wide-selective" or algorithm != gated:
+                continue
+            ratio = float(cell["cross_bytes_ratio"])
+            if ratio < CROSS_BYTES_FLOOR:
+                failures.append(
+                    f"{case_name}/{algorithm}: cross-cluster bytes "
+                    f"ratio {ratio:.2f}x below the hard "
+                    f"{CROSS_BYTES_FLOOR:g}x floor")
+            speedup = float(cell["e2e_speedup"])
+            if speedup < 1.0:
+                failures.append(
+                    f"{case_name}/{algorithm}: late materialization "
+                    f"lost end-to-end time ({speedup:.2f}x)")
+            if cell["on"]["stitch_bytes"] <= 0:
+                failures.append(
+                    f"{case_name}/{algorithm}: no stitch phase was "
+                    "priced — late materialization never engaged")
+            base_cell = baseline.get("cells", {}) \
+                .get(case_name, {}).get(algorithm)
+            if base_cell is None:
+                continue
+            for metric in ("cross_bytes_ratio", "e2e_speedup"):
+                floor = float(base_cell[metric]) / allowed_factor
+                if float(cell[metric]) < floor:
+                    failures.append(
+                        f"{case_name}/{algorithm}: {metric} "
+                        f"{float(cell[metric]):.2f} fell below "
+                        f"{floor:.2f} (baseline "
+                        f"{float(base_cell[metric]):.2f} / "
+                        f"{allowed_factor:g})")
+    advisor = current.get("advisor", {})
+    if not advisor.get("wide_selective", {}).get("use", False):
+        failures.append(
+            "advisor declined late materialization on the "
+            "wide-selective workload")
+    if advisor.get("low_selectivity", {}).get("use", True):
+        failures.append(
+            "advisor accepted late materialization on the "
+            "low-selectivity counter-workload")
+    return failures
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--out", help="write the JSON payload to this path")
+    parser.add_argument("--quick", action="store_true",
+                        help="gated db cell + advisor checks only, for "
+                             "CI smoke runs")
+    parser.add_argument(
+        "--check", metavar="BASELINE",
+        help="gate bytes/time ratios against a baseline JSON; "
+             "exit 1 on violation",
+    )
+    parser.add_argument("--allowed-factor", type=float, default=2.0,
+                        help="regression tolerance for --check")
+
+
+def run_from_args(args) -> int:
+    payload = run_latemat_bench(quick=args.quick)
+    print(render(payload))
+    if args.out:
+        out = pathlib.Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote {out}")
+    if args.check:
+        baseline = json.loads(pathlib.Path(args.check).read_text())
+        failures = check_regression(
+            payload, baseline, allowed_factor=args.allowed_factor)
+        if failures:
+            print("\nlate-materialization regressions:", file=sys.stderr)
+            for line in failures:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"\nall latemat gates hold vs {args.check} "
+              f"(tolerance {args.allowed_factor:g}x)")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.latemat",
+        description="Late materialization vs full-row shipping on a "
+                    "constrained hybrid link",
+    )
+    add_arguments(parser)
+    return run_from_args(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import inspect
 from dataclasses import dataclass, fields
-from typing import Dict, List, Type
+from typing import Dict, List, Tuple, Type
 
 from repro.adaptive import hooks as adaptive_hooks
 from repro.errors import JoinError
@@ -66,6 +66,10 @@ class JoinStats:
     hot_tuples_broadcast: float = 0.0
     #: Build + probe rows re-dealt across workers by work stealing.
     stolen_tuples: float = 0.0
+    #: Measured wire-codec bytes of this run's compact transfers (thin
+    #: exports, remote shuffle partitions, stitch fetches).  0 unless
+    #: late materialization ran.
+    encoded_wire_bytes: float = 0.0
 
     def scaled(self, multiplier: float) -> "JoinStats":
         """Counts multiplied up to paper scale (Bloom bytes unchanged)."""
@@ -152,6 +156,7 @@ class JoinAlgorithm:
         fallbacks = parallel.drain_fallback_events()
         if fallbacks:
             trace.metadata["parallel_fallbacks"] = fallbacks
+        trace.metadata["bytes_shipped"] = classify_bytes_shipped(trace)
         timing = replay_trace(trace)
         return JoinResult(
             algorithm=self.name,
@@ -163,11 +168,90 @@ class JoinAlgorithm:
         )
 
     @staticmethod
-    def _wire_row_bytes(tables: List[Table]) -> int:
-        """Logical row width of the (first non-degenerate) wire table."""
+    def _wire_row_bytes(tables: List[Table]) -> float:
+        """Row width the transfer phases price one wire row at.
+
+        Classic row shipping moves decoded rows, so the logical width
+        applies.  With late materialization on, transfers run through
+        the compact wire codec (dictionary columns travel as ids), so
+        the honest width is :meth:`Table.wire_row_bytes`.
+        """
         if not tables:
             raise JoinError("no wire tables")
-        return tables[0].row_bytes()
+        from repro.latemat import late_materialization_enabled
+
+        if late_materialization_enabled():
+            return tables[0].wire_row_bytes()
+        return float(tables[0].row_bytes())
+
+    def _latemat_store(self, query: HybridQuery, tables: List[Table],
+                       side: str, stats: JoinStats = None):
+        """Thin ``tables`` for a transfer edge if late mat says to.
+
+        Returns ``(store, tables_to_ship)``: the payload store plus the
+        thin twins when thinning applies, else ``(None, tables)`` — the
+        classic full-width path.  With ``stats``, a database-side thin
+        export is measured through the real wire codec.
+        """
+        from repro.latemat import thin_for_transfer
+        from repro.query.plan import needed_wire_columns
+
+        key = (query.hdfs_join_key if side == "hdfs"
+               else query.db_join_key)
+        store = thin_for_transfer(
+            tables, key, needed=needed_wire_columns(query, side)
+        )
+        if store is None:
+            return None, list(tables)
+        thin = store.thin_tables()
+        if stats is not None and side == "db":
+            from repro.edw.worker import DbWorker
+
+            stats.encoded_wire_bytes += DbWorker.encoded_export_bytes(thin)
+        return store, thin
+
+    def _add_payload_fetch_phases(self, costing, trace, latemat_plan,
+                                  gate, l_cross: bool = False,
+                                  t_cross: bool = True) -> List[str]:
+        """Emit ``payload_fetch_*`` phases for an executed stitch.
+
+        ``gate`` is what the fetches stream from (typically the probe —
+        matches are decided there); returns the gate the aggregate must
+        wait on.  ``l_cross``/``t_cross`` say whether that side's
+        payload store sits across the EDW<->HDFS boundary.
+        """
+        if latemat_plan is None or not latemat_plan.active():
+            return list(gate)
+        stitch = latemat_plan.stats
+        if stitch.fetched_wire_bytes:
+            trace.metadata["stitch_fetched_wire_bytes"] = \
+                stitch.fetched_wire_bytes
+        fetch_names: List[str] = []
+        sides = (
+            ("payload_fetch_l", latemat_plan.l_store, l_cross,
+             stitch.l_fetched_tuples, stitch.l_amplification),
+            ("payload_fetch_t", latemat_plan.t_store, t_cross,
+             stitch.t_fetched_tuples, stitch.t_amplification),
+        )
+        for name, store, cross, fetched, amplification in sides:
+            if store is None:
+                continue
+            row_bytes = store.payload_row_bytes()
+            trace.add(name, "transfer" if cross else "shuffle",
+                      costing.payload_fetch_seconds(
+                          fetched, row_bytes,
+                          amplification=amplification,
+                          cross_cluster=cross,
+                      ),
+                      streams_from=list(gate),
+                      description="batched stitch: fetch surviving "
+                                  f"{name[-1].upper()} payloads "
+                                  f"(x{amplification:.2f} page "
+                                  "amplification)",
+                      tuples=fetched,
+                      volume_bytes=fetched * row_bytes * amplification)
+            fetch_names.append(name)
+        return fetch_names or list(gate)
 
     def _memory_budget_rows(self, warehouse) -> float:
         """Per-worker build-side memory limit at data-plane scale."""
@@ -201,6 +285,9 @@ class JoinAlgorithm:
         trace.metadata["shuffle_partition_rows"] = [
             table.num_rows for table in shuffled.per_destination
         ]
+        stats.encoded_wire_bytes += getattr(
+            shuffled, "encoded_wire_bytes", 0
+        )
         if hot_keys is None:
             return
         stats.hot_keys_detected = float(len(hot_keys))
@@ -389,6 +476,50 @@ class JoinAlgorithm:
                   volume_bytes=scan.stats.stored_bytes_scanned,
                   tuples=scan.stats.rows_scanned)
         return scan
+
+
+#: Phase name -> (bytes-shipped category, crosses the EDW<->HDFS
+#: boundary).  Stitch phases decide the boundary per run from their
+#: kind (``transfer`` = cross-cluster, ``shuffle`` = intra-HDFS).
+_BYTES_SHIPPED_CATEGORY: Dict[str, Tuple[str, bool]] = {
+    "db_export": ("export", True),
+    "db_broadcast": ("export", True),
+    "db_send_once": ("export", True),
+    "hdfs_to_db": ("export", True),
+    "jen_shuffle": ("shuffle", False),
+    "db_internal_shuffle": ("shuffle", False),
+    "jen_hot_relay": ("relay", False),
+    "jen_rebroadcast": ("relay", False),
+    "work_steal": ("relay", False),
+    "payload_fetch_l": ("stitch", False),
+    "payload_fetch_t": ("stitch", False),
+}
+
+
+def classify_bytes_shipped(trace: Trace) -> Dict[str, float]:
+    """Per-category row bytes the trace's transfer phases moved.
+
+    Data-plane-scale bytes (multiply by ``scale_up`` for paper scale;
+    ratios are scale-free, which is what the bench gate compares).
+    ``cross_cluster`` totals everything that crossed the EDW<->HDFS
+    boundary — the number the paper's algorithms exist to shrink.
+    """
+    shipped = {"export": 0.0, "shuffle": 0.0, "relay": 0.0, "stitch": 0.0}
+    cross_cluster = 0.0
+    for phase in trace:
+        entry = _BYTES_SHIPPED_CATEGORY.get(phase.name)
+        if entry is None:
+            continue
+        category, crosses = entry
+        if category == "stitch":
+            crosses = phase.kind == "transfer"
+        shipped[category] += phase.volume_bytes
+        if crosses:
+            cross_cluster += phase.volume_bytes
+    shipped["cross_cluster"] = cross_cluster
+    shipped["total"] = (shipped["export"] + shipped["shuffle"]
+                        + shipped["relay"] + shipped["stitch"])
+    return shipped
 
 
 #: Registry of available algorithms by name.

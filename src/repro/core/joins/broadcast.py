@@ -20,6 +20,7 @@ from repro.core.joins.base import (
     JoinStats,
     register_algorithm,
 )
+from repro.latemat import LateMatPlan
 from repro.net.transfer import TransferPattern
 from repro.relational.table import Table
 from repro.sim.trace import Trace
@@ -55,8 +56,11 @@ class BroadcastJoin(JoinAlgorithm):
 
         # -- Step 2: broadcast T' to every JEN worker --------------------
         t_full = Table.concat(t_parts)
+        t_store, t_ship = self._latemat_store(query, [t_full], "db",
+                                              stats=stats)
+        t_broadcast = t_ship[0]
         t_tuples = t_full.num_rows
-        t_wire_bytes = t_full.row_bytes()
+        t_wire_bytes = self._wire_row_bytes(t_ship)
         stats.db_tuples_sent = t_tuples
         stats.db_send_copies = jen.num_workers
         if self.pattern is TransferPattern.BROADCAST_DIRECT:
@@ -78,14 +82,18 @@ class BroadcastJoin(JoinAlgorithm):
                       after=["db_filter"],
                       description="DB workers send T' once to paired "
                                   "JEN workers",
-                      tuples=t_tuples)
+                      tuples=t_tuples,
+                      volume_bytes=t_tuples * t_wire_bytes)
             trace.add("jen_rebroadcast", "transfer",
                       costing.jen_rebroadcast_seconds(
                           t_tuples, t_wire_bytes
                       ),
                       after=["db_send_once"],
                       description="JEN workers relay T' to all peers",
-                      tuples=t_tuples * (jen.num_workers - 1))
+                      tuples=t_tuples * (jen.num_workers - 1),
+                      volume_bytes=(
+                          t_tuples * t_wire_bytes * (jen.num_workers - 1)
+                      ))
             build_gate = ["jen_rebroadcast"]
         trace.add("hash_build_t", "cpu",
                   costing.hash_build_seconds(
@@ -100,11 +108,13 @@ class BroadcastJoin(JoinAlgorithm):
         scan = self._run_hdfs_scan(
             warehouse, query, costing, trace, stats, gate=["startup"],
         )
+        latemat_plan = LateMatPlan(t_store=t_store)
         result, join_stats = jen.join_and_aggregate(
             scan.wire_tables,
-            [t_full] * jen.num_workers,
+            [t_broadcast] * jen.num_workers,
             query,
             memory_budget_rows=self._memory_budget_rows(warehouse),
+            latemat_plan=latemat_plan,
         )
         stats.join_output_tuples = join_stats.join_output_tuples
         stats.result_rows = join_stats.result_rows
@@ -122,11 +132,14 @@ class BroadcastJoin(JoinAlgorithm):
                   streams_from=["hdfs_scan"],
                   description="probe T' hash table with streaming L rows",
                   tuples=scan.stats.rows_after_predicates)
+        agg_gate = self._add_payload_fetch_phases(
+            costing, trace, latemat_plan, ["probe"]
+        )
         trace.add("aggregate", "cpu",
                   costing.jen_aggregate_seconds(
                       join_stats.join_output_tuples
                   ),
-                  streams_from=["probe"],
+                  streams_from=agg_gate,
                   description="post-join predicate, partial + final agg",
                   tuples=join_stats.join_output_tuples)
         trace.add("result_return", "latency",

@@ -292,3 +292,46 @@ class JoinCosting:
         """Relay-style broadcast: one worker fanning T′ back out."""
         volume = raw_tuples * self.scale_up * row_bytes * (self._n - 1)
         return volume / self.topology.hdfs.nic_bytes_per_s
+
+    # ------------------------------------------------------------------
+    # Late materialization (payload stitching)
+    # ------------------------------------------------------------------
+    def payload_fetch_seconds(self, raw_tuples: float, row_bytes: float,
+                              amplification: float = 1.0,
+                              cross_cluster: bool = False,
+                              to_db: bool = False) -> float:
+        """Batched stitch fetch of surviving payload rows.
+
+        The store side serves fetches in whole pages, so scattered row
+        ids read ``amplification``× the returned volume (see
+        :func:`repro.latemat.fetch_amplification`).  A cross-cluster
+        fetch moves over the same export/ingest path and inter-cluster
+        link ``db_export``/``db_ingest`` price (``to_db`` picks the
+        HDFS->EDW direction); an intra-HDFS fetch is an all-to-all
+        exchange over the same NICs the shuffle used.
+        """
+        tuples = raw_tuples * self.scale_up
+        volume = tuples * row_bytes * max(1.0, amplification)
+        if cross_cluster:
+            if to_db:
+                serve_time = tuples / (
+                    self._m * self.cost.db_ingest_tuples_per_s
+                )
+                network = self.topology.inter_cluster_bandwidth(
+                    senders=self._n,
+                    receivers=self.cluster.db_servers,
+                    sender_side="hdfs",
+                )
+            else:
+                serve_time = tuples / (
+                    self._m * self.cost.db_export_tuples_per_s
+                )
+                network = self.topology.inter_cluster_bandwidth(
+                    senders=self.cluster.db_servers,
+                    receivers=self._n,
+                    sender_side="db",
+                )
+            return max(serve_time, volume / network)
+        return shuffle_seconds(
+            volume, self.topology, self._n, self.cost.shuffle_bytes_per_s
+        )

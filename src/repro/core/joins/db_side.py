@@ -23,6 +23,8 @@ from __future__ import annotations
 
 from typing import List
 
+import numpy as np
+
 from repro.core.joins.base import (
     JoinAlgorithm,
     JoinResult,
@@ -30,6 +32,7 @@ from repro.core.joins.base import (
     register_algorithm,
 )
 from repro.edw.optimizer import choose_db_join_strategy
+from repro.latemat import StitchStats, stitch_parts
 from repro.relational.table import Table
 from repro.sim.trace import Trace
 from repro.query.query import HybridQuery
@@ -77,9 +80,12 @@ class DbSideJoin(JoinAlgorithm):
             warehouse, query, costing, trace, stats, scan_gate,
             db_bloom=db_bloom,
         )
-        ingested = _group_ingest(scan.wire_tables, database.num_workers)
+        l_store, l_ship = self._latemat_store(
+            query, scan.wire_tables, "hdfs"
+        )
+        ingested = _group_ingest(l_ship, database.num_workers)
         l_tuples = sum(part.num_rows for part in ingested)
-        l_wire_bytes = self._wire_row_bytes(scan.wire_tables)
+        l_wire_bytes = self._wire_row_bytes(l_ship)
         stats.hdfs_tuples_to_db = l_tuples
         trace.add("hdfs_to_db", "transfer",
                   costing.db_ingest_seconds(l_tuples, l_wire_bytes),
@@ -88,11 +94,51 @@ class DbSideJoin(JoinAlgorithm):
                               "DB workers",
                   tuples=l_tuples,
                   volume_bytes=l_tuples * l_wire_bytes)
+        shuffle_gate = ["hdfs_to_db"]
+        if l_store is not None:
+            # Grouped ingest has no hash alignment with the database's
+            # private partitioning, so thin rows are pruned against the
+            # global key set of T' — exact whatever join strategy the
+            # optimizer picks below — before fetching payloads HDFS->EDW.
+            from repro.edw.worker import DbWorker
+
+            stats.encoded_wire_bytes += DbWorker.encoded_export_bytes(
+                l_ship
+            )
+            t_keys = np.unique(np.concatenate([
+                part.column(query.db_join_key) for part in t_parts
+            ]))
+            stitch_stats = StitchStats()
+            ingested = stitch_parts(
+                l_store, ingested, query.hdfs_join_key, t_keys,
+                stitch_stats, side="l",
+            )
+            if stitch_stats.fetched_wire_bytes:
+                trace.metadata["stitch_fetched_wire_bytes"] = \
+                    stitch_stats.fetched_wire_bytes
+            l_payload_bytes = l_store.payload_row_bytes()
+            trace.add("payload_fetch_l", "transfer",
+                      costing.payload_fetch_seconds(
+                          stitch_stats.l_fetched_tuples, l_payload_bytes,
+                          stitch_stats.l_amplification,
+                          cross_cluster=True, to_db=True,
+                      ),
+                      streams_from=["hdfs_to_db"],
+                      description="fetch surviving L payload rows into "
+                                  "the database",
+                      tuples=stitch_stats.l_fetched_tuples,
+                      volume_bytes=(
+                          stitch_stats.l_fetched_tuples * l_payload_bytes
+                          * stitch_stats.l_amplification
+                      ))
+            shuffle_gate = ["payload_fetch_l"]
 
         # -- Optimizer choice + in-database join --------------------------
         t_tuples = sum(part.num_rows for part in t_parts)
         raw_t_wire = t_tuples * t_parts[0].row_bytes()
-        raw_l_wire = l_tuples * l_wire_bytes
+        raw_l_wire = sum(
+            part.num_rows * part.row_bytes() for part in ingested
+        )
         choice = choose_db_join_strategy(
             raw_t_wire, raw_l_wire, database.num_workers
         )
@@ -100,7 +146,7 @@ class DbSideJoin(JoinAlgorithm):
         trace.add("db_internal_shuffle", "db_shuffle",
                   costing.db_internal_shuffle_seconds(choice.internal_bytes),
                   after=["db_filter"],
-                  streams_from=["hdfs_to_db"],
+                  streams_from=shuffle_gate,
                   description=f"in-database {choice.strategy.value} "
                               "(JEN cannot target the private hash)",
                   volume_bytes=choice.internal_bytes)

@@ -28,6 +28,7 @@ from repro.core.joins.base import (
     JoinStats,
     register_algorithm,
 )
+from repro.latemat import LateMatPlan
 from repro.relational.table import Table
 from repro.sim.trace import Trace
 from repro.testkit import invariants
@@ -77,12 +78,15 @@ class RepartitionJoin(JoinAlgorithm):
             db_bloom=db_bloom,
         )
         hot_keys = scan.hot_keys
-        shuffled = jen.shuffle_by_key(scan.wire_tables,
+        l_store, l_ship = self._latemat_store(
+            query, scan.wire_tables, "hdfs"
+        )
+        shuffled = jen.shuffle_by_key(l_ship,
                                       query.hdfs_join_key,
                                       hot_keys=hot_keys)
         stats.hdfs_tuples_shuffled = shuffled.tuples_shuffled
         self._record_hot_shuffle(stats, trace, hot_keys, shuffled)
-        l_wire_bytes = self._wire_row_bytes(scan.wire_tables)
+        l_wire_bytes = self._wire_row_bytes(l_ship)
         shuffle_skew = self._effective_shuffle_skew(
             warehouse, costing, shuffled, hot_keys
         )
@@ -93,14 +97,17 @@ class RepartitionJoin(JoinAlgorithm):
                   ),
                   streams_from=["hdfs_scan"],
                   description="agreed-hash shuffle of L' among JEN workers",
-                  tuples=shuffled.tuples_shuffled)
+                  tuples=shuffled.tuples_shuffled,
+                  volume_bytes=shuffled.tuples_shuffled * l_wire_bytes)
 
         # -- Step 2 (concurrent): ship T' by the agreed hash -------------
+        t_store, t_ship = self._latemat_store(query, t_parts, "db",
+                                              stats=stats)
         t_dest, hot_t_tuples, hot_copy_tuples = _route_db_rows(
-            t_parts, query.db_join_key, jen.num_workers, hot_keys=hot_keys
+            t_ship, query.db_join_key, jen.num_workers, hot_keys=hot_keys
         )
-        t_tuples = sum(part.num_rows for part in t_parts)
-        t_wire_bytes = t_parts[0].row_bytes()
+        t_tuples = sum(part.num_rows for part in t_ship)
+        t_wire_bytes = self._wire_row_bytes(t_ship)
         stats.db_tuples_sent = t_tuples
         stats.hot_tuples_broadcast += hot_copy_tuples
         trace.add("db_export", "transfer",
@@ -124,9 +131,11 @@ class RepartitionJoin(JoinAlgorithm):
             export_names.append("jen_hot_relay")
 
         # -- Steps 4-6: probe, aggregate, return -------------------------
+        latemat_plan = LateMatPlan(l_store=l_store, t_store=t_store)
         result, join_stats = jen.join_and_aggregate(
             shuffled.per_destination, t_dest, query,
             memory_budget_rows=self._memory_budget_rows(warehouse),
+            latemat_plan=latemat_plan,
         )
         stats.join_output_tuples = join_stats.join_output_tuples
         stats.result_rows = join_stats.result_rows
@@ -147,11 +156,14 @@ class RepartitionJoin(JoinAlgorithm):
                   streams_from=export_names,
                   description="probe with database rows",
                   tuples=t_tuples)
+        agg_gate = self._add_payload_fetch_phases(
+            costing, trace, latemat_plan, ["probe"]
+        )
         trace.add("aggregate", "cpu",
                   costing.jen_aggregate_seconds(
                       join_stats.join_output_tuples
                   ),
-                  streams_from=["probe"],
+                  streams_from=agg_gate,
                   description="post-join predicate, partial + final agg",
                   tuples=join_stats.join_output_tuples)
         trace.add("result_return", "latency",

@@ -30,6 +30,7 @@ from repro.core.joins.base import (
     register_algorithm,
 )
 from repro.core.joins.repartition import _route_db_rows
+from repro.latemat import LateMatPlan
 from repro.relational.operators import semi_join_mask, unique_keys
 from repro.sim.trace import Trace
 from repro.query.query import HybridQuery
@@ -84,11 +85,12 @@ class _ExactFilterJoin(JoinAlgorithm):
         ]
         stats.hdfs_rows_after_bloom = sum(p.num_rows for p in pruned)
         hot_keys = scan.hot_keys
-        shuffled = jen.shuffle_by_key(pruned, query.hdfs_join_key,
+        l_store, l_ship = self._latemat_store(query, pruned, "hdfs")
+        shuffled = jen.shuffle_by_key(l_ship, query.hdfs_join_key,
                                       hot_keys=hot_keys)
         stats.hdfs_tuples_shuffled = shuffled.tuples_shuffled
         self._record_hot_shuffle(stats, trace, hot_keys, shuffled)
-        l_wire_bytes = self._wire_row_bytes(scan.wire_tables)
+        l_wire_bytes = self._wire_row_bytes(l_ship)
         shuffle_skew = self._effective_shuffle_skew(
             warehouse, costing, shuffled, hot_keys
         )
@@ -98,7 +100,9 @@ class _ExactFilterJoin(JoinAlgorithm):
                       skew=shuffle_skew,
                   ),
                   streams_from=["hdfs_scan"],
-                  description="agreed-hash shuffle of exactly pruned L'")
+                  description="agreed-hash shuffle of exactly pruned L'",
+                  tuples=shuffled.tuples_shuffled,
+                  volume_bytes=shuffled.tuples_shuffled * l_wire_bytes)
 
         if self.two_way:
             outgoing, export_gate = self._perf_second_phase(
@@ -107,36 +111,41 @@ class _ExactFilterJoin(JoinAlgorithm):
         else:
             outgoing, export_gate = t_parts, ["db_filter"]
 
+        t_store, t_ship = self._latemat_store(query, outgoing, "db",
+                                              stats=stats)
+        t_wire_bytes = self._wire_row_bytes(t_ship)
         t_dest, hot_t_tuples, hot_copy_tuples = _route_db_rows(
-            outgoing, query.db_join_key, jen.num_workers,
+            t_ship, query.db_join_key, jen.num_workers,
             hot_keys=hot_keys,
         )
         t_tuples = sum(part.num_rows for part in outgoing)
         stats.db_tuples_sent = t_tuples
         stats.hot_tuples_broadcast += hot_copy_tuples
         trace.add("db_export", "transfer",
-                  costing.db_export_seconds(
-                      t_tuples, t_parts[0].row_bytes()
-                  ),
+                  costing.db_export_seconds(t_tuples, t_wire_bytes),
                   after=export_gate,
                   tuples=t_tuples,
+                  volume_bytes=t_tuples * t_wire_bytes,
                   description="DB workers send their rows via agreed hash")
         export_names = ["db_export"]
         extra_hot_copies = hot_copy_tuples - hot_t_tuples
         if extra_hot_copies > 0:
             trace.add("jen_hot_relay", "transfer",
                       costing.jen_duplicate_seconds(
-                          extra_hot_copies, t_parts[0].row_bytes()
+                          extra_hot_copies, t_wire_bytes
                       ),
                       streams_from=["db_export"],
                       tuples=extra_hot_copies,
+                      volume_bytes=extra_hot_copies * t_wire_bytes,
                       description="home workers relay hot-key rows to "
                                   "their spread worker sets")
             export_names.append("jen_hot_relay")
 
+        latemat_plan = LateMatPlan(l_store=l_store, t_store=t_store)
         result, join_stats = jen.join_and_aggregate(
             shuffled.per_destination, t_dest, query,
             memory_budget_rows=self._memory_budget_rows(warehouse),
+            latemat_plan=latemat_plan,
         )
         stats.join_output_tuples = join_stats.join_output_tuples
         stats.result_rows = join_stats.result_rows
@@ -154,11 +163,14 @@ class _ExactFilterJoin(JoinAlgorithm):
                       t_tuples, join_stats.join_output_tuples
                   ),
                   after=probe_gate, streams_from=export_names)
+        agg_gate = self._add_payload_fetch_phases(
+            costing, trace, latemat_plan, ["probe"]
+        )
         trace.add("aggregate", "cpu",
                   costing.jen_aggregate_seconds(
                       join_stats.join_output_tuples
                   ),
-                  streams_from=["probe"])
+                  streams_from=agg_gate)
         trace.add("result_return", "latency",
                   costing.result_return_seconds(), after=["aggregate"])
         return self._finish(warehouse, query, result, stats, trace)

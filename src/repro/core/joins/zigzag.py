@@ -32,6 +32,7 @@ from repro.core.joins.base import (
 )
 from repro.core.joins.repartition import _route_db_rows
 from repro.edw.worker import DbWorker
+from repro.latemat import LateMatPlan
 from repro.sim.trace import Trace
 from repro.query.query import HybridQuery
 
@@ -69,12 +70,15 @@ class ZigzagJoin(JoinAlgorithm):
             build_local_blooms=True,
         )
         hot_keys = scan.hot_keys
-        shuffled = jen.shuffle_by_key(scan.wire_tables,
+        l_store, l_ship = self._latemat_store(
+            query, scan.wire_tables, "hdfs"
+        )
+        shuffled = jen.shuffle_by_key(l_ship,
                                       query.hdfs_join_key,
                                       hot_keys=hot_keys)
         stats.hdfs_tuples_shuffled = shuffled.tuples_shuffled
         self._record_hot_shuffle(stats, trace, hot_keys, shuffled)
-        l_wire_bytes = self._wire_row_bytes(scan.wire_tables)
+        l_wire_bytes = self._wire_row_bytes(l_ship)
         shuffle_skew = self._effective_shuffle_skew(
             warehouse, costing, shuffled, hot_keys
         )
@@ -85,7 +89,8 @@ class ZigzagJoin(JoinAlgorithm):
                   ),
                   streams_from=["hdfs_scan"],
                   description="agreed-hash shuffle of doubly filtered L''",
-                  tuples=shuffled.tuples_shuffled)
+                  tuples=shuffled.tuples_shuffled,
+                  volume_bytes=shuffled.tuples_shuffled * l_wire_bytes)
 
         # -- Step 4: merge BF_H, send to the database ---------------------
         hdfs_bloom = scan.global_bloom()
@@ -114,9 +119,11 @@ class ZigzagJoin(JoinAlgorithm):
                   after=["bf_h_send", "db_filter"],
                   description="apply BF_H to T' (index-assisted)",
                   tuples=t_prime_tuples)
-        t_wire_bytes = t_parts[0].row_bytes()
+        t_store, t_ship = self._latemat_store(query, t_pruned, "db",
+                                              stats=stats)
+        t_wire_bytes = self._wire_row_bytes(t_ship)
         t_dest, hot_t_tuples, hot_copy_tuples = _route_db_rows(
-            t_pruned, query.db_join_key, jen.num_workers,
+            t_ship, query.db_join_key, jen.num_workers,
             hot_keys=hot_keys,
         )
         stats.hot_tuples_broadcast += hot_copy_tuples
@@ -141,9 +148,11 @@ class ZigzagJoin(JoinAlgorithm):
             export_names.append("jen_hot_relay")
 
         # -- Steps 7-9: probe, aggregate, return --------------------------
+        latemat_plan = LateMatPlan(l_store=l_store, t_store=t_store)
         result, join_stats = jen.join_and_aggregate(
             shuffled.per_destination, t_dest, query,
             memory_budget_rows=self._memory_budget_rows(warehouse),
+            latemat_plan=latemat_plan,
         )
         stats.join_output_tuples = join_stats.join_output_tuples
         stats.result_rows = join_stats.result_rows
@@ -164,11 +173,14 @@ class ZigzagJoin(JoinAlgorithm):
                   streams_from=export_names,
                   description="probe with doubly filtered database rows",
                   tuples=t_tuples)
+        agg_gate = self._add_payload_fetch_phases(
+            costing, trace, latemat_plan, ["probe"]
+        )
         trace.add("aggregate", "cpu",
                   costing.jen_aggregate_seconds(
                       join_stats.join_output_tuples
                   ),
-                  streams_from=["probe"],
+                  streams_from=agg_gate,
                   description="post-join predicate, partial + final agg",
                   tuples=join_stats.join_output_tuples)
         trace.add("result_return", "latency",

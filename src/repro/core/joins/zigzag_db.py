@@ -32,9 +32,12 @@ from repro.core.joins.base import (
     JoinStats,
     register_algorithm,
 )
+import numpy as np
+
 from repro.core.joins.db_side import _group_ingest
 from repro.edw.optimizer import choose_db_join_strategy
 from repro.edw.worker import DbWorker
+from repro.latemat import StitchStats, stitch_parts
 from repro.sim.trace import Trace
 from repro.query.query import HybridQuery
 
@@ -112,31 +115,68 @@ class ZigzagDbJoin(JoinAlgorithm):
                               "HDFS): predicates + BF_DB again",
                   tuples=second_scan.stats.rows_scanned)
 
-        ingested = _group_ingest(
-            second_scan.wire_tables, database.num_workers
+        l_store, l_ship = self._latemat_store(
+            query, second_scan.wire_tables, "hdfs"
         )
+        ingested = _group_ingest(l_ship, database.num_workers)
         l_tuples = sum(part.num_rows for part in ingested)
-        l_wire_bytes = self._wire_row_bytes(second_scan.wire_tables)
+        l_wire_bytes = self._wire_row_bytes(l_ship)
         stats.hdfs_tuples_to_db = l_tuples
         trace.add("hdfs_to_db", "transfer",
                   costing.db_ingest_seconds(l_tuples, l_wire_bytes),
                   streams_from=["hdfs_scan_2"],
                   description="ship doubly filtered L'' into the database",
-                  tuples=l_tuples)
+                  tuples=l_tuples,
+                  volume_bytes=l_tuples * l_wire_bytes)
+        shuffle_gate = ["hdfs_to_db"]
+        if l_store is not None:
+            # Same exact global-key prune as the plain DB-side join:
+            # grouped ingest is not co-partitioned with T''.
+            stats.encoded_wire_bytes += DbWorker.encoded_export_bytes(
+                l_ship
+            )
+            t_keys = np.unique(np.concatenate([
+                part.column(query.db_join_key) for part in t_pruned
+            ]))
+            stitch_stats = StitchStats()
+            ingested = stitch_parts(
+                l_store, ingested, query.hdfs_join_key, t_keys,
+                stitch_stats, side="l",
+            )
+            if stitch_stats.fetched_wire_bytes:
+                trace.metadata["stitch_fetched_wire_bytes"] = \
+                    stitch_stats.fetched_wire_bytes
+            l_payload_bytes = l_store.payload_row_bytes()
+            trace.add("payload_fetch_l", "transfer",
+                      costing.payload_fetch_seconds(
+                          stitch_stats.l_fetched_tuples, l_payload_bytes,
+                          stitch_stats.l_amplification,
+                          cross_cluster=True, to_db=True,
+                      ),
+                      streams_from=["hdfs_to_db"],
+                      description="fetch surviving L'' payload rows into "
+                                  "the database",
+                      tuples=stitch_stats.l_fetched_tuples,
+                      volume_bytes=(
+                          stitch_stats.l_fetched_tuples * l_payload_bytes
+                          * stitch_stats.l_amplification
+                      ))
+            shuffle_gate = ["payload_fetch_l"]
 
         # -- Final join in the database -------------------------------------
         t_tuples = sum(part.num_rows for part in t_pruned)
         choice = choose_db_join_strategy(
             t_tuples * t_parts[0].row_bytes(),
-            l_tuples * l_wire_bytes,
+            sum(part.num_rows * part.row_bytes() for part in ingested),
             database.num_workers,
         )
         stats.db_internal_shuffle_bytes = choice.internal_bytes
         trace.add("db_internal_shuffle", "db_shuffle",
                   costing.db_internal_shuffle_seconds(choice.internal_bytes),
                   after=["db_second_access"],
-                  streams_from=["hdfs_to_db"],
-                  description=f"in-database {choice.strategy.value}")
+                  streams_from=shuffle_gate,
+                  description=f"in-database {choice.strategy.value}",
+                  volume_bytes=choice.internal_bytes)
         result, join_stats = database.execute_hybrid_join(
             t_pruned, ingested, query, choice
         )

@@ -170,6 +170,20 @@ class DbWorker:
         return table.filter(mask)
 
     @staticmethod
+    def encoded_export_bytes(parts: Sequence[Table]) -> int:
+        """Bytes the outgoing partitions weigh in the compact wire codec.
+
+        Late materialization exports thin ``(key, rowid)`` tables as
+        codec frames; this measures what actually leaves the worker so
+        the accounting layer can report honest export volumes.
+        """
+        from repro.kernels.wirecodec import encoded_table_bytes
+
+        return sum(
+            encoded_table_bytes(part) for part in parts if part.num_rows
+        )
+
+    @staticmethod
     def partition_for_send(table: Table, key_column: str,
                            num_targets: int) -> List[Table]:
         """Split outgoing rows by the agreed hash function.

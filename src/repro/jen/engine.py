@@ -30,6 +30,7 @@ from repro.hdfs.filesystem import HdfsFileSystem, HdfsTableMeta
 from repro.jen.coordinator import JenCoordinator
 from repro.jen.exchange import ShuffleResult, combine_blooms, final_aggregate, shuffle
 from repro.jen.worker import JenWorker, ScanRequest, ScanStats
+from repro.latemat import LateMatPlan, StitchStats
 from repro.net.transfer import RetryPolicy
 from repro.relational.table import Table
 from repro.query.plan import local_join, local_partial_aggregate
@@ -76,6 +77,13 @@ class LocalJoinStats:
     #: Per-worker build + probe rows after any stealing (the sequential
     #: path fills this; the bench derives worker-finish spread from it).
     per_slot_loads: Optional[List[int]] = None
+    #: Late-materialization stitch accounting
+    #: (:class:`repro.latemat.StitchStats`); ``None`` when the join ran
+    #: on full-width parts.
+    stitch: Optional[StitchStats] = None
+    #: Measured wire-codec bytes of spilled fragments (what actually
+    #: hits the disk with late materialization on; 0 otherwise).
+    spilled_wire_bytes: int = 0
 
 
 class Jen:
@@ -617,6 +625,7 @@ class Jen:
         t_parts: List[Table],
         query: HybridQuery,
         memory_budget_rows: float = 0.0,
+        latemat_plan: Optional[LateMatPlan] = None,
     ) -> Tuple[Table, LocalJoinStats]:
         """Local hash joins on every worker, then the final aggregate.
 
@@ -630,6 +639,12 @@ class Jen:
         unlimited — the paper's current JEN, which "requires that all
         data fit in memory".  An armed ``spill:x<f>`` fault event
         squeezes the budget to ``f`` times the largest build side.
+
+        ``latemat_plan`` says which sides arrived as thin
+        ``(key, rowid)`` tables; the stitch (prune + payload fetch) runs
+        first, so every downstream path — parallel, spilling, stealing,
+        fault recovery — operates on full rows exactly as the classic
+        mode and the results are row-identical by construction.
         """
         injector = self._active_injector()
         if injector is not None:
@@ -651,6 +666,12 @@ class Jen:
                     pressure if memory_budget_rows <= 0
                     else min(memory_budget_rows, pressure)
                 )
+        stitch_stats: Optional[StitchStats] = None
+        if latemat_plan is not None and latemat_plan.active():
+            l_parts, t_parts = latemat_plan.stitch(
+                l_parts, t_parts, query.hdfs_join_key, query.db_join_key
+            )
+            stitch_stats = latemat_plan.stats
         from repro import parallel
 
         if injector is not None:
@@ -668,17 +689,23 @@ class Jen:
             from repro.parallel.join import parallel_join_and_aggregate
 
             try:
-                return parallel_join_and_aggregate(
+                result, stats = parallel_join_and_aggregate(
                     l_parts, t_parts, query, memory_budget_rows,
                     parallel.get_backend(parallel.pool_workers()),
                 )
+                stats.stitch = stitch_stats
+                return result, stats
             except parallel.ParallelUnsupported:
                 parallel.record_fallback("jen.join", "unsupported-payload")
-        from repro.jen.spill import fragment_tables, plan_spill
+        from repro.jen.spill import (
+            encoded_fragment_bytes,
+            fragment_tables,
+            plan_spill,
+        )
         from repro.kernels import kernels_enabled
         from repro.kernels.joinindex import JoinBuildIndex
 
-        stats = LocalJoinStats()
+        stats = LocalJoinStats(stitch=stitch_stats)
         # One work unit per worker to start with; the skew plane may
         # fragment straggler units and re-deal the pieces.
         work_lists: List[List[Tuple[Table, Table]]] = [
@@ -718,10 +745,14 @@ class Jen:
                         )
                     else:
                         build_index = JoinBuildIndex(build_keys)
-                for build_frag, probe_frag in fragment_tables(
+                fragments = fragment_tables(
                     l_part, t_part, query.hdfs_join_key,
                     query.db_join_key, plan.num_fragments,
-                ):
+                )
+                if plan.spilled:
+                    stats.spilled_wire_bytes += \
+                        encoded_fragment_bytes(fragments)
+                for build_frag, probe_frag in fragments:
                     joined = local_join(probe_frag, build_frag, query,
                                         build_index=build_index)
                     stats.join_output_tuples += joined.num_rows

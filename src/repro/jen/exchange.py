@@ -41,6 +41,10 @@ class ShuffleResult:
     #: Rows routed off the agreed hash by a hybrid (skew-resistant)
     #: shuffle — hot-key build rows spread round-robin across workers.
     hot_tuples: int = 0
+    #: Actual bytes of the remote partitions on the compact wire codec
+    #: (varint/delta/dictionary-id framing).  Only measured when late
+    #: materialization is enabled; 0 otherwise.
+    encoded_wire_bytes: int = 0
 
     def balance_factor(self) -> float:
         """Hottest receiver's row count relative to the mean (>= 1.0).
@@ -83,6 +87,13 @@ def shuffle(outgoing: Sequence[Sequence[Table]],
     tuples_remote = 0
     retries = 0
     duplicates_suppressed = 0
+    encoded_wire_bytes = 0
+    # With late materialization on, remote partitions really travel in
+    # the compact wire codec; measure what they cost encoded.
+    from repro.latemat import late_materialization_enabled
+    measure_wire = late_materialization_enabled()
+    if measure_wire:
+        from repro.kernels.wirecodec import encoded_table_bytes
     delivery_counts = (
         np.zeros((len(outgoing), num_destinations), dtype=np.int64)
         if invariants.checking_enabled() else None
@@ -113,6 +124,8 @@ def shuffle(outgoing: Sequence[Sequence[Table]],
                 tuples_shuffled += part.num_rows
                 if sender != destination:
                     tuples_remote += part.num_rows
+                    if measure_wire and part.num_rows:
+                        encoded_wire_bytes += encoded_table_bytes(part)
         # Table.concat is lazy about degenerate inputs: empty partitions
         # (the common case with many workers and selective filters) are
         # dropped before any column is copied, and a single surviving
@@ -132,6 +145,7 @@ def shuffle(outgoing: Sequence[Sequence[Table]],
         tuples_remote=tuples_remote,
         retries=retries,
         duplicates_suppressed=duplicates_suppressed,
+        encoded_wire_bytes=encoded_wire_bytes,
     )
 
 

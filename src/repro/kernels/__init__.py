@@ -21,6 +21,10 @@ pins that equivalence):
   streaming primitives with no naive twin — their contract (no
   underestimation, bounded overestimation, determinism) is pinned by
   property tests against exact counts instead.
+* :mod:`repro.kernels.wirecodec` — the compact wire format of the
+  late-materialization transfers (:mod:`repro.latemat`): varint/delta
+  row-id batches, dictionary-id passthrough and constant stripping,
+  with bit-exact vectorised round trips.
 * :mod:`repro.kernels.reference` — the naive formulations every kernel
   must match bit for bit; they also provide the "before" timings of
   ``python -m repro bench``.
@@ -59,11 +63,25 @@ from repro.kernels.partition import (  # noqa: E402
     partition_table,
 )
 from repro.kernels.sketch import CountMinSketch, TopKHeap  # noqa: E402
+from repro.kernels.wirecodec import (  # noqa: E402
+    decode_rowids,
+    decode_table,
+    encode_rowids,
+    encode_table,
+    encoded_rowid_bytes,
+    encoded_table_bytes,
+)
 
 __all__ = [
     "CountMinSketch",
     "JoinBuildIndex",
     "TopKHeap",
+    "decode_rowids",
+    "decode_table",
+    "encode_rowids",
+    "encode_table",
+    "encoded_rowid_bytes",
+    "encoded_table_bytes",
     "kernels_enabled",
     "partition_indices",
     "partition_table",

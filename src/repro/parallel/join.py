@@ -26,6 +26,7 @@ from repro.parallel.pool import ProcessBackend
 from repro.parallel.shm import AttachedTable, TableHandle
 from repro.parallel.tasks import (
     KIND_JOIN,
+    KIND_STITCH,
     TaskContext,
     make_descriptor,
     publish_context,
@@ -109,6 +110,58 @@ def parallel_join_and_aggregate(
     result = final_aggregate(partials, query)
     stats.result_rows = result.num_rows
     return result, stats
+
+
+def parallel_stitch(
+    payload_table: Table,
+    rowid_batches: List,
+    backend: ProcessBackend,
+) -> List[Table]:
+    """Late-materialization payload gathers, one pool task per slot.
+
+    The payload store's concatenated table is exported into a pooled
+    shared-memory segment **once**; each slot's surviving row ids cross
+    the boundary wire-codec-encoded (varint/delta — the same format the
+    trace's ``payload_fetch`` phase prices) and the workers gather
+    their rows straight from the shared segment.  Results come back in
+    slot order.
+
+    Raises :class:`~repro.parallel.ParallelUnsupported` when the
+    payload cannot cross the process boundary; the stitch falls back
+    to coordinator-side gathers.
+    """
+    from repro.kernels.wirecodec import encode_rowids
+    from repro.parallel.scan import task_env
+
+    env = task_env(backend)
+    payload_handle = None
+    context_ref = None
+    try:
+        payload_handle = backend.export_transient(payload_table)
+        encoded = tuple(
+            encode_rowids(batch) for batch in rowid_batches
+        )
+        context_ref = publish_context(TaskContext(
+            env=env,
+            blocks=(payload_handle,),
+            rowid_batches=encoded,
+        ), backend)
+        descriptors = [
+            make_descriptor(KIND_STITCH, context_ref, index=slot)
+            for slot in range(len(rowid_batches))
+        ]
+        results: List[Optional[Table]] = [None] * len(rowid_batches)
+        for result in backend.run_unordered(run_task, descriptors):
+            with AttachedTable(result.handle) as attached:
+                fetched = attached.materialize()
+            backend.consume(result.handle)
+            results[result.tag] = fetched
+        return results
+    finally:
+        if context_ref is not None:
+            backend.close_context(context_ref)
+        if payload_handle is not None:
+            backend.release(payload_handle)
 
 
 def parallel_reference_aggregate(

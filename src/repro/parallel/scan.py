@@ -166,9 +166,11 @@ def morsel_ranges(num_rows: int,
 def task_env(backend: ProcessBackend) -> TaskEnv:
     """The coordinator settings every task of this batch replays."""
     from repro.kernels import kernels_enabled
+    from repro.latemat import late_materialization_enabled
 
     return TaskEnv(kernels=kernels_enabled(),
-                   prefix=backend.registry.prefix)
+                   prefix=backend.registry.prefix,
+                   late_materialization=late_materialization_enabled())
 
 
 @dataclass

@@ -77,14 +77,18 @@ class TaskEnv:
     #: The coordinator's session prefix; result segments are named
     #: under it so a post-crash sweep can find them.
     prefix: str
+    #: The coordinator's late-materialization toggle (the long-lived
+    #: pool may have been forked under a different setting).
+    late_materialization: bool = False
 
 
 def _enter_task_env(env: TaskEnv) -> None:
     """Apply the coordinator's toggles inside the pool worker."""
-    from repro import kernels
+    from repro import kernels, latemat
     from repro.testkit import invariants
 
     kernels.set_kernels_enabled(env.kernels)
+    latemat.set_late_materialization_enabled(env.late_materialization)
     # Invariant hooks run coordinator-side on the assembled results;
     # the worker must not assert against forked shadow state.
     invariants._CHECKING = False
@@ -207,6 +211,9 @@ class TaskContext:
     memory_budget_rows: float = 0.0
     predicate: Optional[Predicate] = None
     projection: Tuple[str, ...] = ()
+    #: Wire-codec-encoded surviving row ids, one batch per stitch task
+    #: (:func:`repro.kernels.wirecodec.encode_rowids` output).
+    rowid_batches: Tuple[bytes, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -247,6 +254,7 @@ KIND_SCAN = 1
 KIND_JOIN = 2
 KIND_DB_FILTER = 3
 KIND_NOOP = 4
+KIND_STITCH = 5
 
 
 def make_descriptor(kind: int, ctx: Optional[ContextRef],
@@ -483,7 +491,47 @@ def _run_noop(_ctx, _tag, index: int, _row_start: int, _row_stop: int):
     return index
 
 
+# ----------------------------------------------------------------------
+# Late-materialization payload stitch (one worker slot)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StitchSlotResult:
+    """One slot's fetched payload rows (as a disowned handle)."""
+
+    tag: int
+    handle: TableHandle
+    fetched_rows: int
+    body_seconds: float
+
+
+def _run_stitch_slot(ctx: TaskContext, tag, index: int,
+                     _row_start: int, _row_stop: int) -> StitchSlotResult:
+    """Worker body: rowid-indexed gather from the pooled payload store.
+
+    ``blocks[0]`` is the store's full payload table, exported once for
+    the whole batch; each task decodes its slot's varint/delta row-id
+    batch and gathers the surviving rows straight out of the shared
+    segment — the real execution of the trace's ``payload_fetch``.
+    """
+    started = time.perf_counter()
+    _enter_task_env(ctx.env)
+    from repro.kernels.wirecodec import decode_rowids
+
+    allocator = _result_allocator(ctx.env.prefix)
+    with AttachedTable(ctx.blocks[0]) as attached:
+        rowids = decode_rowids(ctx.rowid_batches[index])
+        fetched = attached.table.take(rowids)
+        handle = export_table(fetched, allocator)
+    return StitchSlotResult(
+        tag=index,
+        handle=handle,
+        fetched_rows=int(rowids.size),
+        body_seconds=time.perf_counter() - started,
+    )
+
+
 register_task_body(KIND_SCAN, _run_scan_morsel)
 register_task_body(KIND_JOIN, _run_join_slot)
 register_task_body(KIND_DB_FILTER, _run_db_filter)
 register_task_body(KIND_NOOP, _run_noop)
+register_task_body(KIND_STITCH, _run_stitch_slot)

@@ -96,6 +96,40 @@ def aggregate_row_width(query: HybridQuery, joined_schema) -> int:
     return group_width + agg_width
 
 
+def needed_wire_columns(query: HybridQuery, side: str) -> tuple:
+    """Wire columns of one side the post-join pipeline provably needs.
+
+    ``side`` is ``"db"`` or ``"hdfs"``.  The join key is always needed
+    (it decides matches); beyond it a projected column is needed only if
+    the post-join predicate, the group-by, or an aggregate argument
+    references it under this side's prefix.  Late materialization
+    (:mod:`repro.latemat`) uses this set to drop provably dead payload
+    columns from the deferred fetch: a column nothing downstream reads
+    never has to cross the network at all.
+    """
+    if side == "db":
+        prefix = query.db_prefix
+        key = query.db_join_key
+        projected = tuple(query.db_projection)
+    elif side == "hdfs":
+        prefix = query.hdfs_prefix
+        key = query.hdfs_join_key
+        projected = query.hdfs_wire_columns()
+    else:
+        raise ValueError(f"side must be 'db' or 'hdfs', got {side!r}")
+    referenced = set(query.group_by)
+    if query.post_join_predicate is not None:
+        referenced |= set(query.post_join_predicate.columns())
+    for spec in query.aggregates:
+        if spec.column is not None:
+            referenced.add(spec.column)
+    needed = [key]
+    for name in projected:
+        if name != key and f"{prefix}{name}" in referenced:
+            needed.append(name)
+    return tuple(needed)
+
+
 def partial_tables_nonempty(partials: List[Table]) -> List[Table]:
     """Drop empty partials but keep at least one for schema."""
     non_empty = [table for table in partials if table.num_rows]

@@ -191,12 +191,45 @@ class Table:
         return self.dictionary(name)[self.column(name)]
 
     def row_bytes(self, names: Optional[Sequence[str]] = None) -> int:
-        """Logical bytes of one (optionally projected) row."""
+        """Logical bytes of one (optionally projected) row.
+
+        Dictionary-encoded strings count at their declared varchar
+        width here — the classic row-shipping wire serialises decoded
+        strings, and the paper's movement accounting assumes it.  Use
+        :meth:`wire_row_bytes` for the dictionary-aware width of the
+        compact wire codec.
+        """
         return self.schema.row_width(names)
 
     def total_bytes(self, names: Optional[Sequence[str]] = None) -> int:
         """Logical bytes of the whole (optionally projected) table."""
         return self.row_bytes(names) * self._num_rows
+
+    def wire_row_bytes(self,
+                       names: Optional[Sequence[str]] = None) -> float:
+        """Dictionary-aware bytes of one row on the compact wire.
+
+        A ``DICT_STRING`` column ships its int32 id array plus the
+        dictionary once per transfer, so its per-row price is 4 bytes
+        plus the dictionary's total string bytes amortised over the
+        table's rows — never the decoded varchar width.  Fixed-width
+        columns price at their declared width, as in
+        :meth:`row_bytes`.
+        """
+        selected = self.schema.names if names is None else names
+        total = 0.0
+        for name in selected:
+            column = self.schema.column(name)
+            if column.dtype is not DataType.DICT_STRING:
+                total += column.width()
+                continue
+            total += DataType.DICT_STRING.numpy_dtype().itemsize
+            dictionary = self._dictionaries.get(name)
+            if dictionary is not None and self._num_rows > 0:
+                dictionary_bytes = sum(
+                    len(str(value)) for value in dictionary)
+                total += dictionary_bytes / self._num_rows
+        return total
 
     # ------------------------------------------------------------------
     # Core operations

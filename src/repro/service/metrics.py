@@ -263,3 +263,86 @@ class MetricsRegistry:
                     f"p95={metric.p95:9.2f} p99={metric.p99:9.2f}"
                 )
         return "\n".join(lines) if lines else "  (no metrics recorded)"
+
+    # -- operator summary ----------------------------------------------
+    _TENANT_PREFIX = "service.latency_seconds.tenant."
+    _CACHE_PREFIX = "cache."
+    _BYTES_PREFIX = "net.bytes."
+
+    def summary(self) -> Dict[str, object]:
+        """Structured operator summary of the registry.
+
+        Groups the flat metric namespace into the three views an
+        operator actually asks for: where did latency go (per tenant),
+        did the caches earn their memory (hit rates, including the
+        pushed-down Bloom-filter cache), and where did the network
+        budget go (per-category bytes shipped, with the stitch bucket
+        isolating late materialization's payload fetches).
+        """
+        tenants: Dict[str, Dict[str, float]] = {}
+        caches: Dict[str, Dict[str, float]] = {}
+        bytes_shipped: Dict[str, float] = {}
+        for name, metric in self._snapshot_items():
+            if name.startswith(self._TENANT_PREFIX) \
+                    and isinstance(metric, Histogram):
+                tenants[name[len(self._TENANT_PREFIX):]] = {
+                    "count": metric.count,
+                    "mean": metric.mean,
+                    "p50": metric.p50,
+                    "p95": metric.p95,
+                    "p99": metric.p99,
+                }
+            elif name.startswith(self._BYTES_PREFIX) \
+                    and isinstance(metric, Counter):
+                bytes_shipped[name[len(self._BYTES_PREFIX):]] = metric.value
+            elif name.startswith(self._CACHE_PREFIX) \
+                    and isinstance(metric, Counter):
+                cache_name, _, field = \
+                    name[len(self._CACHE_PREFIX):].partition(".")
+                caches.setdefault(cache_name, {})[field] = metric.value
+        for cache in caches.values():
+            lookups = cache.get("hits", 0.0) + cache.get("misses", 0.0)
+            cache["hit_rate"] = (
+                cache.get("hits", 0.0) / lookups if lookups else 0.0
+            )
+        return {
+            "tenants": tenants,
+            "caches": caches,
+            "bytes_shipped": bytes_shipped,
+        }
+
+    def render_report(self) -> str:
+        """Human-readable version of :meth:`summary`."""
+        summary = self.summary()
+        lines: List[str] = []
+        tenants = summary["tenants"]
+        lines.append("per-tenant latency (simulated seconds):")
+        if tenants:
+            for tenant, stats in sorted(tenants.items()):
+                lines.append(
+                    f"  {tenant:<18s} n={int(stats['count']):<5d} "
+                    f"mean={stats['mean']:9.2f} p50={stats['p50']:9.2f} "
+                    f"p95={stats['p95']:9.2f} p99={stats['p99']:9.2f}"
+                )
+        else:
+            lines.append("  (no completed queries)")
+        lines.append("cache hit rates:")
+        caches = summary["caches"]
+        if caches:
+            for cache_name, stats in sorted(caches.items()):
+                lines.append(
+                    f"  {cache_name:<18s} "
+                    f"hits={int(stats.get('hits', 0)):<7d} "
+                    f"misses={int(stats.get('misses', 0)):<7d} "
+                    f"hit_rate={stats['hit_rate']:6.1%}"
+                )
+        else:
+            lines.append("  (no cache lookups)")
+        lines.append("bytes shipped (scaled to paper size):")
+        shipped = summary["bytes_shipped"]
+        if shipped:
+            for category, value in sorted(shipped.items()):
+                lines.append(f"  {category:<18s} {value:16,.0f}")
+        else:
+            lines.append("  (no transfer phases recorded)")
+        return "\n".join(lines)

@@ -651,6 +651,28 @@ class QueryService:
         fallbacks = join_result.trace.metadata.get("parallel_fallbacks", ())
         for _site, reason in fallbacks:
             self.metrics.counter(f"parallel.fallback.{reason}").inc()
+        self._record_bytes_shipped(join_result)
+
+    def _record_bytes_shipped(self, join_result: JoinResult) -> None:
+        """Accumulate the trace's per-phase transfer volumes.
+
+        Every join trace classifies its transfer phases into export /
+        shuffle / relay / stitch buckets (``bytes_shipped`` metadata);
+        the service sums them across queries so an operator can see
+        where the cluster's network budget went — and in particular how
+        much late materialization's stitch phase spent versus what thin
+        shipping saved.
+        """
+        shipped = join_result.trace.metadata.get("bytes_shipped")
+        if not shipped:
+            return
+        for category in ("export", "shuffle", "relay", "stitch"):
+            amount = shipped.get(category, 0.0)
+            if amount > 0:
+                self.metrics.counter(f"net.bytes.{category}").inc(amount)
+        cross = shipped.get("cross_cluster", 0.0)
+        if cross > 0:
+            self.metrics.counter("net.bytes.cross_cluster").inc(cross)
 
     def _refine_estimate(self, query: HybridQuery, estimate):
         """The session's estimate hook: apply accumulated feedback."""
@@ -668,6 +690,9 @@ class QueryService:
                 outcome.latency)
             self.metrics.histogram(
                 f"service.latency_seconds.{label}").observe(outcome.latency)
+            self.metrics.histogram(
+                f"service.latency_seconds.tenant.{ticket.tenant}"
+            ).observe(outcome.latency)
         elif outcome.status == "failed":
             self.metrics.counter("service.query_failed").inc()
         else:

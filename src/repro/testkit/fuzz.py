@@ -123,6 +123,7 @@ def sample_cell(rng: np.random.Generator) -> ConfigCell:
         kernels=bool(rng.random() < 0.7),
         fault_spec=fault_spec,
         cache_warm=cache_warm,
+        late_materialization=bool(rng.random() < 0.25),
     )
 
 

@@ -105,6 +105,9 @@ class ConfigCell:
     #: below 1.0 carry interval semantics and are checked by the
     #: statistical battery instead of the differential grid.
     approx: Optional[float] = None
+    #: Thin-row shipping + batched payload stitch (:mod:`repro.latemat`);
+    #: results must stay row-identical whatever side defers its payload.
+    late_materialization: bool = False
 
     def label(self) -> str:
         """Compact cell id for test parametrisation and repro output."""
@@ -125,6 +128,8 @@ class ConfigCell:
             parts.append("skew")
         if self.approx is not None:
             parts.append(f"approx{self.approx:g}")
+        if self.late_materialization:
+            parts.append("latemat")
         return "/".join(parts)
 
 
@@ -440,11 +445,14 @@ def run_cell(case: DataCase, cell: ConfigCell,
         warehouse = build_cell_warehouse(
             case, cell.workers, cell.format_name
         )
+    from repro.latemat import set_late_materialization_enabled
     from repro.parallel import set_execution_backend
     from repro.skew import set_skew_handling_enabled
 
     previous_kernels = set_kernels_enabled(cell.kernels)
     previous_skew = set_skew_handling_enabled(cell.skew_handling)
+    previous_latemat = set_late_materialization_enabled(
+        cell.late_materialization)
     previous_backend = set_execution_backend(
         cell.backend,
         workers=_CELL_POOL_WORKERS if cell.backend == "process" else None,
@@ -472,6 +480,7 @@ def run_cell(case: DataCase, cell: ConfigCell,
     finally:
         set_kernels_enabled(previous_kernels)
         set_skew_handling_enabled(previous_skew)
+        set_late_materialization_enabled(previous_latemat)
         set_execution_backend(previous_backend)
 
 
@@ -557,6 +566,39 @@ def default_grid(seed: int = 2015) -> List[Tuple[DataCase, ConfigCell]]:
                 algorithm, workers=30, fault_spec=fault_spec,
                 skew_handling=True,
             )))
+    # Late-materialization axis: thin-row shipping + payload stitch
+    # must be row-identical everywhere it can activate — every
+    # algorithm on a wide-payload case (where both stores engage),
+    # across formats, with skew handling on the hot case, under a
+    # fault plan, and on the real process pool.
+    wide = edge_case("wide-dtypes")
+    for algorithm in ALL_ALGORITHMS:
+        grid.append((wide, ConfigCell(
+            algorithm, workers=4, late_materialization=True,
+        )))
+    for format_name in ("text", "orc"):
+        grid.append((wide, ConfigCell(
+            "repartition", workers=4, format_name=format_name,
+            late_materialization=True,
+        )))
+    for algorithm in ("repartition(BF)", "zigzag"):
+        grid.append((hot, ConfigCell(
+            algorithm, workers=4, skew_handling=True,
+            late_materialization=True,
+        )))
+    grid.append((wide, ConfigCell(
+        "zigzag", workers=30, fault_spec=FAULT_AXIS[0],
+        late_materialization=True,
+    )))
+    grid.append((wide, ConfigCell(
+        "repartition", workers=30, fault_spec=FAULT_AXIS[3],
+        late_materialization=True,
+    )))
+    for algorithm in ("repartition", "broadcast", "db"):
+        grid.append((wide, ConfigCell(
+            algorithm, workers=4, backend="process",
+            late_materialization=True,
+        )))
     # Approx axis at rate 1.0: sampling every block must reproduce the
     # exact answer bit-for-bit on every aggregate kind, with and
     # without the Bloom filter — the degenerate end of the statistical
